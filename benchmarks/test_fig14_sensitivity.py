@@ -1,0 +1,70 @@
+"""Fig. 14 — sensitivity of PES to the confidence threshold.
+
+Sweeps the confidence threshold from 30% to 100% and reports, per
+application, the energy consumption and the QoS-violation reduction
+normalised to EBS.  The paper finds the benefits grow as the threshold is
+relaxed from 100% down to ~70% and then flatten — PES is largely robust to
+the threshold, and 70% is the default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.analysis.reporting import format_table
+from repro.analysis.sensitivity import sweep_confidence_threshold
+
+THRESHOLDS = (0.3, 0.5, 0.7, 0.9, 1.0)
+APPS = ("cnn", "ebay", "google", "slashdot")
+
+
+def run_sweep(simulator, learner, evaluation_traces):
+    traces = [t for t in evaluation_traces if t.app_name in APPS]
+    return sweep_confidence_threshold(simulator, learner, traces, THRESHOLDS)
+
+
+def test_fig14_confidence_threshold_sensitivity(benchmark, simulator, learner, evaluation_traces):
+    sweep = benchmark.pedantic(
+        run_sweep, args=(simulator, learner, evaluation_traces), rounds=1, iterations=1
+    )
+
+    rows = [
+        [
+            entry.app_name,
+            f"{entry.confidence_threshold * 100:.0f}%",
+            round(entry.energy_vs_ebs * 100, 1),
+            f"{entry.qos_violation_reduction * 100:.1f}%",
+            round(entry.mean_prediction_degree, 2),
+        ]
+        for entry in sweep
+    ]
+    table = format_table(
+        ["app", "threshold", "energy vs EBS (%)", "QoS violation reduction", "prediction degree"], rows
+    )
+
+    def mean_at(threshold, attribute):
+        return float(np.mean([getattr(e, attribute) for e in sweep if e.confidence_threshold == threshold]))
+
+    summary = ["", "Averages over the sampled apps:"]
+    for threshold in THRESHOLDS:
+        summary.append(
+            f"  threshold {threshold * 100:3.0f}%: energy={mean_at(threshold, 'energy_vs_ebs') * 100:.1f}% of EBS, "
+            f"QoS reduction={mean_at(threshold, 'qos_violation_reduction') * 100:.1f}%, "
+            f"degree={mean_at(threshold, 'mean_prediction_degree'):.2f}"
+        )
+    write_result("fig14_sensitivity.txt", table + "\n".join(summary))
+
+    # At a 100% threshold the predictor only speculates on certain events
+    # (e.g. the forced load after a navigation): PES nearly degenerates to EBS.
+    assert mean_at(1.0, "energy_vs_ebs") > 0.93
+    assert mean_at(1.0, "mean_prediction_degree") <= 1.1
+    # Relaxing the threshold to the default unlocks the benefits...
+    assert mean_at(0.7, "energy_vs_ebs") < mean_at(1.0, "energy_vs_ebs")
+    assert mean_at(0.7, "qos_violation_reduction") > 0.2
+    assert mean_at(0.7, "mean_prediction_degree") > mean_at(1.0, "mean_prediction_degree")
+    # ...and relaxing further does not change much (robustness claim).
+    assert abs(mean_at(0.3, "energy_vs_ebs") - mean_at(0.7, "energy_vs_ebs")) < 0.08
+    assert abs(mean_at(0.3, "qos_violation_reduction") - mean_at(0.7, "qos_violation_reduction")) < 0.35
+    # The prediction degree grows as the threshold relaxes.
+    assert mean_at(0.3, "mean_prediction_degree") >= mean_at(0.9, "mean_prediction_degree")

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Confidence-threshold sensitivity study (Fig. 14).
+
+Sweeps the predictor's cumulative-confidence threshold and reports, for a
+handful of applications, PES energy and QoS-violation reduction normalised
+to EBS, plus the resulting prediction degree — reproducing the robustness
+analysis that justifies the paper's 70% default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AppCatalog, PredictorTrainer, Simulator, TraceGenerator
+from repro.analysis.sensitivity import sweep_confidence_threshold
+from repro.webapp.apps import SEEN_APPS
+
+THRESHOLDS = (0.3, 0.5, 0.7, 0.9, 1.0)
+APPS = ("cnn", "ebay", "google", "slashdot", "sina")
+
+
+def main() -> None:
+    catalog = AppCatalog()
+    generator = TraceGenerator(catalog=catalog)
+    simulator = Simulator(catalog=catalog)
+
+    training = generator.generate_many(list(SEEN_APPS), traces_per_app=6, base_seed=0)
+    learner = PredictorTrainer(catalog=catalog).train(training).learner
+
+    traces = [generator.generate(app, seed=800_000 + i) for i, app in enumerate(APPS)]
+    print(f"Sweeping confidence thresholds {[f'{t:.0%}' for t in THRESHOLDS]} over {len(traces)} sessions...")
+    sweep = sweep_confidence_threshold(simulator, learner, traces, THRESHOLDS)
+
+    print(f"\n{'threshold':>9} {'energy vs EBS':>14} {'QoS reduction':>14} {'pred. degree':>13}")
+    for threshold in THRESHOLDS:
+        rows = [e for e in sweep if e.confidence_threshold == threshold]
+        energy = float(np.mean([e.energy_vs_ebs for e in rows]))
+        reduction = float(np.mean([e.qos_violation_reduction for e in rows]))
+        degree = float(np.mean([e.mean_prediction_degree for e in rows]))
+        print(f"{threshold:>8.0%} {energy * 100:>13.1f}% {reduction * 100:>13.1f}% {degree:>13.2f}")
+
+    print(
+        "\nAs in the paper: at 100% the predictor cannot speculate and PES degenerates to EBS;"
+        "\nrelaxing to ~70% unlocks the benefit, and relaxing further changes little."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in editable mode (``pip install -e .``) on
+environments whose setuptools/pip combination lacks the ``wheel`` package
+required by PEP 660 editable builds.
+"""
+
+from setuptools import setup
+
+setup()

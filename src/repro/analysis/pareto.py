@@ -1,0 +1,78 @@
+"""Pareto analysis of scheduling schemes (Fig. 13).
+
+Each scheme is a point in (QoS violation, normalised energy) space, lower
+being better on both axes.  The paper's claim is that PES Pareto-dominates
+every existing scheme; :func:`pareto_frontier` and :func:`dominates` make
+that claim checkable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.runtime.metrics import AggregateMetrics
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One scheme's position in the QoS-violation / energy plane."""
+
+    scheme: str
+    qos_violation: float
+    normalised_energy: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.qos_violation <= 1.0:
+            raise ValueError("qos_violation must be a fraction in [0, 1]")
+        if self.normalised_energy <= 0:
+            raise ValueError("normalised_energy must be positive")
+
+
+def dominates(a: ParetoPoint, b: ParetoPoint, *, tolerance: float = 1e-9) -> bool:
+    """Whether scheme ``a`` Pareto-dominates scheme ``b`` (≤ on both, < on one)."""
+    no_worse = (
+        a.qos_violation <= b.qos_violation + tolerance
+        and a.normalised_energy <= b.normalised_energy + tolerance
+    )
+    strictly_better = (
+        a.qos_violation < b.qos_violation - tolerance
+        or a.normalised_energy < b.normalised_energy - tolerance
+    )
+    return no_worse and strictly_better
+
+
+def pareto_frontier(points: Iterable[ParetoPoint]) -> list[ParetoPoint]:
+    """The subset of points not dominated by any other point."""
+    points = list(points)
+    frontier = [
+        p
+        for p in points
+        if not any(dominates(other, p) for other in points if other is not p)
+    ]
+    frontier.sort(key=lambda p: (p.qos_violation, p.normalised_energy))
+    return frontier
+
+
+def points_from_metrics(
+    metrics_by_scheme: Mapping[str, AggregateMetrics],
+    baseline: str = "Interactive",
+) -> list[ParetoPoint]:
+    """Build Pareto points from aggregated per-scheme metrics."""
+    if baseline not in metrics_by_scheme:
+        raise KeyError(f"baseline scheme {baseline!r} missing")
+    base_energy = metrics_by_scheme[baseline].total_energy_mj
+    if base_energy <= 0:
+        raise ValueError("baseline energy must be positive")
+    return [
+        ParetoPoint(
+            scheme=scheme,
+            qos_violation=metrics.qos_violation_rate,
+            normalised_energy=metrics.total_energy_mj / base_energy,
+        )
+        for scheme, metrics in metrics_by_scheme.items()
+    ]
+
+
+def non_dominated_schemes(points: Sequence[ParetoPoint]) -> set[str]:
+    return {p.scheme for p in pareto_frontier(points)}

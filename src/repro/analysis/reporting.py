@@ -1,0 +1,51 @@
+"""Plain-text reporting helpers for the benchmark harness.
+
+The benchmark modules print the rows/series of each paper figure; these
+helpers keep that formatting uniform (fixed-width columns, percentages with
+one decimal) so the regenerated artefacts are easy to diff against
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_percentage(value: float, *, decimals: int = 1) -> str:
+    """Render a fraction as a percentage string, e.g. 0.265 -> '26.5%'."""
+    return f"{value * 100:.{decimals}f}%"
+
+
+def format_percentage_map(values: Mapping[str, float], *, decimals: int = 1) -> str:
+    """One 'key: pct' line per entry, preserving insertion order."""
+    return "\n".join(f"{key}: {format_percentage(val, decimals=decimals)}" for key, val in values.items())
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    min_width: int = 8,
+) -> str:
+    """Render a fixed-width text table."""
+    if any(len(row) != len(headers) for row in rows):
+        raise ValueError("every row must have one cell per header")
+    columns = len(headers)
+    rendered_rows = [[_render_cell(cell) for cell in row] for row in rows]
+    widths = [
+        max(min_width, len(str(headers[i])), *(len(r[i]) for r in rendered_rows)) if rendered_rows else max(min_width, len(str(headers[i])))
+        for i in range(columns)
+    ]
+    lines = [
+        "  ".join(str(headers[i]).ljust(widths[i]) for i in range(columns)),
+        "  ".join("-" * widths[i] for i in range(columns)),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(columns)))
+    return "\n".join(lines)
+
+
+def _render_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,83 @@
+"""Sensitivity of PES to the confidence threshold (Fig. 14).
+
+The confidence threshold controls the prediction degree: relaxing it lets
+the predictor speculate further ahead (larger scheduling window, more
+mis-predictions), tightening it shrinks the window until, at 100%, PES
+effectively degenerates to EBS.  The sweep replays the same traces under
+PES configured with each threshold and reports, per application, the
+energy and the QoS-violation reduction normalised to EBS — the same
+normalisation the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.pes import PesConfig
+from repro.core.predictor.sequence_learner import EventSequenceLearner
+from repro.runtime.metrics import aggregate_results
+from repro.runtime.simulator import Simulator
+from repro.traces.trace import Trace
+
+
+@dataclass(frozen=True)
+class ConfidenceSweepResult:
+    """Results for one application at one confidence threshold."""
+
+    app_name: str
+    confidence_threshold: float
+    energy_vs_ebs: float
+    qos_violation_reduction: float
+    mean_prediction_degree: float
+
+
+def sweep_confidence_threshold(
+    simulator: Simulator,
+    learner: EventSequenceLearner,
+    traces: Sequence[Trace],
+    thresholds: Sequence[float],
+) -> list[ConfidenceSweepResult]:
+    """Run the Fig. 14 sweep over ``thresholds`` for the given traces."""
+    if not thresholds:
+        raise ValueError("at least one threshold is required")
+    apps = sorted({t.app_name for t in traces})
+    results: list[ConfidenceSweepResult] = []
+
+    ebs_by_app = {
+        app: aggregate_results(
+            [simulator.run_scheme([t], "EBS")[0] for t in traces if t.app_name == app]
+        )
+        for app in apps
+    }
+
+    for threshold in thresholds:
+        config = PesConfig(confidence_threshold=threshold)
+        for app in apps:
+            app_traces = [t for t in traces if t.app_name == app]
+            pes_results = [simulator.run_pes(t, learner, config) for t in app_traces]
+            pes_metrics = aggregate_results(pes_results)
+            ebs_metrics = ebs_by_app[app]
+
+            energy_vs_ebs = (
+                pes_metrics.total_energy_mj / ebs_metrics.total_energy_mj
+                if ebs_metrics.total_energy_mj > 0
+                else 1.0
+            )
+            if ebs_metrics.qos_violation_rate > 0:
+                reduction = 1.0 - pes_metrics.qos_violation_rate / ebs_metrics.qos_violation_rate
+            else:
+                reduction = 0.0
+            rounds = sum(r.prediction_rounds for r in pes_results)
+            predictions = sum(r.predictions_made for r in pes_results)
+            degree = predictions / rounds if rounds else 0.0
+            results.append(
+                ConfidenceSweepResult(
+                    app_name=app,
+                    confidence_threshold=threshold,
+                    energy_vs_ebs=energy_vs_ebs,
+                    qos_violation_reduction=reduction,
+                    mean_prediction_degree=degree,
+                )
+            )
+    return results

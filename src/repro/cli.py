@@ -1,0 +1,151 @@
+"""Command-line interface for the PES reproduction.
+
+Four subcommands cover the usual workflow:
+
+* ``generate``  — synthesise interaction traces and save them to JSON,
+* ``train``     — train the event predictor and report Fig. 8 accuracy,
+* ``evaluate``  — replay traces under the scheduling schemes (Figs. 11/12),
+* ``platforms`` — list the available hardware platform models.
+
+Examples::
+
+    python -m repro generate --apps cnn bbc --traces 3 --out traces.json
+    python -m repro train --traces-per-app 6
+    python -m repro evaluate --apps cnn google --schemes Interactive EBS PES
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.predictor.training import PredictorTrainer, evaluate_accuracy
+from repro.hardware.platforms import get_platform, list_platforms
+from repro.runtime.metrics import aggregate_results
+from repro.runtime.simulator import SimulationSetup, Simulator
+from repro.traces.generator import TraceGenerator
+from repro.traces.io import save_traces
+from repro.webapp.apps import AppCatalog, SEEN_APPS, UNSEEN_APPS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PES (ISCA 2019) reproduction: trace generation, training, evaluation.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate synthetic interaction traces")
+    generate.add_argument("--apps", nargs="+", default=list(SEEN_APPS), help="application names")
+    generate.add_argument("--traces", type=int, default=3, help="traces per application")
+    generate.add_argument("--seed", type=int, default=0, help="base random seed")
+    generate.add_argument("--out", required=True, help="output JSON file")
+
+    train = sub.add_parser("train", help="train the event predictor and report accuracy")
+    train.add_argument("--traces-per-app", type=int, default=6)
+    train.add_argument("--eval-traces", type=int, default=2)
+    train.add_argument("--seed", type=int, default=0)
+
+    evaluate = sub.add_parser("evaluate", help="replay traces under scheduling schemes")
+    evaluate.add_argument("--apps", nargs="+", default=["cnn", "google", "ebay"])
+    evaluate.add_argument("--traces", type=int, default=1, help="traces per application")
+    evaluate.add_argument(
+        "--schemes",
+        nargs="+",
+        default=["Interactive", "EBS", "PES", "Oracle"],
+        choices=["Interactive", "Ondemand", "EBS", "PES", "Oracle"],
+    )
+    evaluate.add_argument("--platform", default="exynos5410", choices=list_platforms())
+    evaluate.add_argument("--train-traces-per-app", type=int, default=6)
+    evaluate.add_argument("--seed", type=int, default=500_000)
+
+    sub.add_parser("platforms", help="list the available hardware platform models")
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    catalog = AppCatalog()
+    generator = TraceGenerator(catalog=catalog)
+    traces = generator.generate_many(args.apps, args.traces, base_seed=args.seed)
+    save_traces(traces, args.out)
+    print(f"wrote {len(traces)} traces ({traces.total_events} events) to {args.out}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    catalog = AppCatalog()
+    generator = TraceGenerator(catalog=catalog)
+    training = generator.generate_many(list(SEEN_APPS), args.traces_per_app, base_seed=args.seed)
+    result = PredictorTrainer(catalog=catalog).train(training)
+    print(f"trained on {result.n_samples} samples from {result.n_traces} traces")
+
+    evaluation = generator.generate_many(
+        list(SEEN_APPS) + list(UNSEEN_APPS), args.eval_traces, base_seed=args.seed + 900_000
+    )
+    accuracy = evaluate_accuracy(result.learner, evaluation, catalog)
+    for app in list(SEEN_APPS) + list(UNSEEN_APPS):
+        group = "seen" if app in SEEN_APPS else "unseen"
+        print(f"  {app:<15} {group:<7} {accuracy[app] * 100:5.1f}%")
+    seen = float(np.mean([accuracy[a] for a in SEEN_APPS]))
+    unseen = float(np.mean([accuracy[a] for a in UNSEEN_APPS]))
+    print(f"seen average {seen * 100:.1f}%   unseen average {unseen * 100:.1f}%")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    catalog = AppCatalog()
+    generator = TraceGenerator(catalog=catalog)
+    simulator = Simulator(setup=SimulationSetup(system=get_platform(args.platform)), catalog=catalog)
+
+    learner = None
+    if "PES" in args.schemes:
+        training = generator.generate_many(
+            list(SEEN_APPS), args.train_traces_per_app, base_seed=0
+        )
+        learner = PredictorTrainer(catalog=catalog).train(training).learner
+
+    traces = generator.generate_many(args.apps, args.traces, base_seed=args.seed)
+    results = simulator.compare(traces, args.schemes, learner=learner)
+
+    metrics = {scheme: aggregate_results(res) for scheme, res in results.items()}
+    baseline = args.schemes[0]
+    base_energy = metrics[baseline].total_energy_mj
+    print(f"platform={args.platform}  apps={','.join(args.apps)}  traces/app={args.traces}")
+    print(f"{'scheme':<13} {'energy (mJ)':>12} {'vs ' + baseline:>10} {'QoS violation':>14}")
+    for scheme in args.schemes:
+        m = metrics[scheme]
+        print(
+            f"{scheme:<13} {m.total_energy_mj:>12.0f} {m.total_energy_mj / base_energy * 100:>9.1f}% "
+            f"{m.qos_violation_rate * 100:>13.1f}%"
+        )
+    return 0
+
+
+def _cmd_platforms(_: argparse.Namespace) -> int:
+    for name in list_platforms():
+        system = get_platform(name)
+        clusters = ", ".join(
+            f"{c.name} {c.core_count}x {c.min_frequency_mhz}-{c.max_frequency_mhz} MHz"
+            for c in system.clusters
+        )
+        print(f"{name}: {clusters}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "train": _cmd_train,
+        "evaluate": _cmd_evaluate,
+        "platforms": _cmd_platforms,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

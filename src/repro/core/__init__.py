@@ -1,0 +1,42 @@
+"""PES core: the paper's primary contribution.
+
+* :mod:`repro.core.predictor` — hybrid event prediction (statistical
+  sequence learner + DOM analysis).
+* :mod:`repro.core.optimizer` — global energy/QoS constrained optimisation
+  of the speculative schedule (ILP formulation, Eqn. 2–5).
+* :mod:`repro.core.control` — pending frame buffer, commit/squash control
+  unit, and the event dispatcher.
+* :mod:`repro.core.pes` — the :class:`~repro.core.pes.PesScheduler` facade
+  that bundles the three components with their tuning parameters.
+"""
+
+from repro.core.pes import PesScheduler, PesConfig
+from repro.core.predictor import (
+    HybridEventPredictor,
+    EventSequenceLearner,
+    PredictedEvent,
+    PredictorTrainer,
+    TrainingResult,
+    evaluate_accuracy,
+)
+from repro.core.optimizer import GlobalOptimizer, EventSpec, Schedule, Assignment
+from repro.core.control import PendingFrameBuffer, ControlUnit, EventDispatcher, SpeculativeFrame
+
+__all__ = [
+    "PesScheduler",
+    "PesConfig",
+    "HybridEventPredictor",
+    "EventSequenceLearner",
+    "PredictedEvent",
+    "PredictorTrainer",
+    "TrainingResult",
+    "evaluate_accuracy",
+    "GlobalOptimizer",
+    "EventSpec",
+    "Schedule",
+    "Assignment",
+    "PendingFrameBuffer",
+    "ControlUnit",
+    "EventDispatcher",
+    "SpeculativeFrame",
+]

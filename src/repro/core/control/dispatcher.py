@@ -1,0 +1,83 @@
+"""Event dispatcher: issues the speculative schedule to the rendering engine.
+
+The dispatcher walks the optimizer's schedule in order, setting up the
+hardware configuration for each event and handing the event to the
+rendering engine.  It stops as soon as the control unit signals a
+mis-prediction.  One practical rule from Sec. 5.3 is represented
+explicitly: network requests of speculatively executed events are
+suppressed until the event is confirmed, because network side effects are
+irreversible — the ``network_suppressed`` flag on each dispatched
+execution records that the speculative run skipped them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.optimizer.schedule import Assignment, Schedule
+
+
+@dataclass(frozen=True)
+class DispatchedExecution:
+    """One schedule entry handed to the rendering engine."""
+
+    assignment: Assignment
+    network_suppressed: bool
+
+    @property
+    def is_speculative(self) -> bool:
+        return self.assignment.spec.speculative
+
+
+@dataclass
+class EventDispatcher:
+    """Sequential issue of a speculative schedule, stoppable on mis-prediction."""
+
+    schedule: Schedule | None = None
+    cursor: int = 0
+    stopped: bool = False
+    issued: list[DispatchedExecution] = field(default_factory=list)
+
+    def load(self, schedule: Schedule) -> None:
+        """Install a freshly computed speculative schedule."""
+        self.schedule = schedule
+        self.cursor = 0
+        self.stopped = False
+
+    @property
+    def has_next(self) -> bool:
+        return (
+            not self.stopped
+            and self.schedule is not None
+            and self.cursor < len(self.schedule.assignments)
+        )
+
+    def issue_next(self) -> DispatchedExecution:
+        """Issue the next assignment to the rendering engine."""
+        if not self.has_next:
+            raise LookupError("no assignment available to dispatch")
+        assert self.schedule is not None
+        assignment = self.schedule.assignments[self.cursor]
+        self.cursor += 1
+        execution = DispatchedExecution(
+            assignment=assignment,
+            network_suppressed=assignment.spec.speculative,
+        )
+        self.issued.append(execution)
+        return execution
+
+    def remaining(self) -> list[Assignment]:
+        """Assignments not yet issued (dropped when a mis-prediction stops us)."""
+        if self.schedule is None:
+            return []
+        return list(self.schedule.assignments[self.cursor :])
+
+    def stop(self) -> None:
+        """Terminate dispatching (mis-prediction signal from the control unit)."""
+        self.stopped = True
+
+    def reset(self) -> None:
+        self.schedule = None
+        self.cursor = 0
+        self.stopped = False
+        self.issued.clear()

@@ -1,0 +1,222 @@
+"""Custom solvers for the ILP scheduling formulation.
+
+The paper implements its own solver rather than shipping a third-party LP
+package (Sec. 5.5).  Two solvers are provided here:
+
+* :class:`BranchAndBoundSolver` — exact.  It explores configuration choices
+  event by event in execution order, pruning branches that (a) already miss
+  a deadline, (b) cannot possibly beat the best energy found so far (lower
+  bound = energy so far + the sum of per-event minimum energies of the
+  remaining events), or (c) cannot finish the remaining events by their
+  deadlines even at maximum performance.
+* :class:`DynamicProgrammingSolver` — a fast approximation that discretises
+  the timeline and keeps, per finish-time bucket, the cheapest way to reach
+  it.  With a fine bucket (1–2 ms) its solutions match the exact solver on
+  every instance the evaluation produces, while bounding the solve time.
+
+:func:`relax_infeasible_deadlines` implements the "do your best" fallback
+for windows containing Type I events: deadlines that cannot be met even at
+maximum performance are pushed out to the earliest achievable finish time,
+so the solver still returns a schedule (marked infeasible) that minimises
+energy subject to minimal lateness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.optimizer.schedule import Assignment, EventSpec, Schedule, simulate_order
+from repro.schedulers.base import ConfigOption
+
+
+def _earliest_finishes(specs: list[EventSpec], window_start_ms: float) -> list[float]:
+    """Finish times when every event runs at its fastest configuration."""
+    finishes: list[float] = []
+    clock = window_start_ms
+    for spec in specs:
+        start = max(clock, spec.release_ms)
+        clock = start + spec.fastest_option.latency_ms
+        finishes.append(clock)
+    return finishes
+
+
+def relax_infeasible_deadlines(
+    specs: list[EventSpec], window_start_ms: float
+) -> tuple[list[EventSpec], bool]:
+    """Push impossible deadlines out so the window always has a solution.
+
+    A window is infeasible when some event cannot meet its deadline even
+    with every event at maximum performance (a Type I event, or a deadline
+    tighter than the unavoidable work of its predecessors).  Such deadlines
+    are replaced by a *lazy-predecessor* bound: the time the event could
+    finish at maximum performance if every predecessor merely met its own
+    (possibly relaxed) deadline.  This keeps the relaxed instance feasible
+    by construction without dragging the predecessors' configurations to
+    maximum performance — they are still scheduled against their own
+    deadlines, so one impossible event does not distort the energy of the
+    whole window.
+
+    Returns the (possibly rewritten) specs and whether the original
+    instance was feasible.
+    """
+    finishes = _earliest_finishes(specs, window_start_ms)
+    feasible = all(f <= s.deadline_ms + 1e-9 for f, s in zip(finishes, specs))
+    if feasible:
+        return list(specs), True
+
+    relaxed: list[EventSpec] = []
+    previous_deadline = window_start_ms
+    for spec, earliest in zip(specs, finishes):
+        if earliest <= spec.deadline_ms + 1e-9:
+            relaxed.append(spec)
+        else:
+            lazy_bound = max(spec.release_ms, previous_deadline) + spec.fastest_option.latency_ms
+            relaxed.append(
+                EventSpec(
+                    label=spec.label,
+                    release_ms=spec.release_ms,
+                    deadline_ms=max(spec.deadline_ms, lazy_bound),
+                    options=spec.options,
+                    speculative=spec.speculative,
+                )
+            )
+        previous_deadline = relaxed[-1].deadline_ms
+    return relaxed, False
+
+
+@dataclass
+class BranchAndBoundSolver:
+    """Exact branch-and-bound over per-event configuration choices."""
+
+    #: Safety valve on explored nodes; far above what evaluation windows need.
+    max_nodes: int = 200_000
+
+    def solve(self, specs: list[EventSpec], window_start_ms: float) -> Schedule:
+        if not specs:
+            return Schedule(assignments=(), feasible=True, solver="branch-and-bound")
+        working, feasible = relax_infeasible_deadlines(specs, window_start_ms)
+
+        n = len(working)
+        # Remaining minimum-energy suffix sums for the lower bound.
+        min_energy_suffix = [0.0] * (n + 1)
+        for i in range(n - 1, -1, -1):
+            min_energy_suffix[i] = min_energy_suffix[i + 1] + working[i].cheapest_option.energy_mj
+        # Remaining fastest latencies for the feasibility look-ahead.
+        fastest = [spec.fastest_option.latency_ms for spec in working]
+
+        best_energy = float("inf")
+        best_choice: list[ConfigOption] | None = None
+        nodes_explored = 0
+
+        def remaining_feasible(index: int, clock: float) -> bool:
+            for j in range(index, n):
+                start = max(clock, working[j].release_ms)
+                clock = start + fastest[j]
+                if clock > working[j].deadline_ms + 1e-9:
+                    return False
+            return True
+
+        def descend(index: int, clock: float, energy: float, chosen: list[ConfigOption]) -> None:
+            nonlocal best_energy, best_choice, nodes_explored
+            if nodes_explored >= self.max_nodes:
+                return
+            nodes_explored += 1
+            if energy + min_energy_suffix[index] >= best_energy - 1e-12:
+                return
+            if index == n:
+                best_energy = energy
+                best_choice = list(chosen)
+                return
+            if not remaining_feasible(index, clock):
+                return
+            spec = working[index]
+            # Cheapest-first so the first complete solution is already good,
+            # which makes the energy bound effective early.
+            for option in sorted(spec.options, key=lambda o: (o.energy_mj, o.latency_ms)):
+                start = max(clock, spec.release_ms)
+                finish = start + option.latency_ms
+                if finish > spec.deadline_ms + 1e-9:
+                    continue
+                chosen.append(option)
+                descend(index + 1, finish, energy + option.energy_mj, chosen)
+                chosen.pop()
+
+        descend(0, window_start_ms, 0.0, [])
+
+        if best_choice is None:
+            # Even the relaxed instance could not be solved within the node
+            # budget (or an event has a single impossible option): fall back
+            # to maximum performance everywhere.
+            best_choice = [spec.fastest_option for spec in working]
+            feasible = False
+
+        assignments = simulate_order(specs, best_choice, window_start_ms)
+        feasible = feasible and all(a.meets_deadline for a in assignments)
+        return Schedule(assignments=assignments, feasible=feasible, solver="branch-and-bound")
+
+
+@dataclass
+class DynamicProgrammingSolver:
+    """Time-discretised dynamic program over (event index, finish bucket)."""
+
+    bucket_ms: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.bucket_ms <= 0:
+            raise ValueError("bucket_ms must be positive")
+
+    def solve(self, specs: list[EventSpec], window_start_ms: float) -> Schedule:
+        if not specs:
+            return Schedule(assignments=(), feasible=True, solver="dynamic-programming")
+        working, feasible = relax_infeasible_deadlines(specs, window_start_ms)
+
+        # States are finish times rounded *up* to a bucket boundary, so the
+        # DP never claims a finish earlier than reality and its schedules
+        # remain deadline-safe.
+        def quantise(t: float) -> float:
+            buckets = int((t - window_start_ms + self.bucket_ms - 1e-9) // self.bucket_ms)
+            return window_start_ms + max(buckets, 0) * self.bucket_ms
+
+        # frontier: finish_time -> (energy, choices)
+        frontier: dict[float, tuple[float, tuple[ConfigOption, ...]]] = {
+            window_start_ms: (0.0, ())
+        }
+        for spec in working:
+            next_frontier: dict[float, tuple[float, tuple[ConfigOption, ...]]] = {}
+            for clock, (energy, choices) in frontier.items():
+                start = max(clock, spec.release_ms)
+                for option in spec.options:
+                    finish = start + option.latency_ms
+                    if finish > spec.deadline_ms + 1e-9:
+                        continue
+                    key = quantise(finish)
+                    candidate = (energy + option.energy_mj, choices + (option,))
+                    incumbent = next_frontier.get(key)
+                    if incumbent is None or candidate[0] < incumbent[0]:
+                        next_frontier[key] = candidate
+            if not next_frontier:
+                # No feasible continuation: run everything remaining at max
+                # performance (mirrors the exact solver's fallback).
+                best = [spec2.fastest_option for spec2 in working]
+                assignments = simulate_order(specs, best, window_start_ms)
+                return Schedule(assignments=assignments, feasible=False, solver="dynamic-programming")
+            frontier = self._prune(next_frontier)
+
+        best_energy, best_choices = min(frontier.values(), key=lambda item: item[0])
+        assignments = simulate_order(specs, list(best_choices), window_start_ms)
+        feasible = feasible and all(a.meets_deadline for a in assignments)
+        return Schedule(assignments=assignments, feasible=feasible, solver="dynamic-programming")
+
+    @staticmethod
+    def _prune(
+        frontier: dict[float, tuple[float, tuple[ConfigOption, ...]]],
+    ) -> dict[float, tuple[float, tuple[ConfigOption, ...]]]:
+        """Drop states dominated by an earlier-finishing, cheaper state."""
+        pruned: dict[float, tuple[float, tuple[ConfigOption, ...]]] = {}
+        best_energy = float("inf")
+        for finish in sorted(frontier):
+            energy, choices = frontier[finish]
+            if energy < best_energy - 1e-12:
+                pruned[finish] = (energy, choices)
+                best_energy = energy
+        return pruned

@@ -1,0 +1,213 @@
+"""Global optimizer: builds and solves the speculative scheduling window.
+
+Upon receiving the predicted event sequence, the optimizer combines it with
+any outstanding events and computes the speculative schedule: one ACMP
+configuration per event, minimising total energy under every event's QoS
+deadline (Sec. 5.3).
+
+Two estimators feed the formulation for *predicted* events, whose concrete
+workload and arrival time are not yet known:
+
+* :class:`WorkloadEstimator` — per-event-type calibration of the DVFS model
+  from previously executed events (the paper measures each event the first
+  two times it is encountered; here every completed execution updates a
+  running per-type average, seeded from the application's typical
+  workload).
+* :class:`ArrivalEstimator` — per-interaction running average of the user's
+  inter-arrival gaps, scaled by a conservatism factor so the schedule stays
+  deadline-safe when the user acts faster than their average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.optimizer.ilp import BranchAndBoundSolver, DynamicProgrammingSolver
+from repro.core.optimizer.schedule import EventSpec, Schedule
+from repro.core.predictor.sequence_learner import PredictedEvent
+from repro.hardware.acmp import AcmpSystem
+from repro.hardware.dvfs import DvfsModel
+from repro.hardware.power import PowerTable
+from repro.schedulers.base import enumerate_options
+from repro.traces.trace import TraceEvent
+from repro.traces.workload import WorkloadModel
+from repro.webapp.apps import AppProfile
+from repro.webapp.events import EventType, Interaction, interaction_of, qos_target_ms
+
+
+@dataclass
+class WorkloadEstimator:
+    """Running per-event-type estimate of the DVFS workload parameters."""
+
+    profile: AppProfile
+    _model: WorkloadModel = field(init=False)
+    _sum_tmem: dict[EventType, float] = field(default_factory=dict)
+    _sum_ndep: dict[EventType, float] = field(default_factory=dict)
+    _count: dict[EventType, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._model = WorkloadModel(self.profile)
+
+    def record(self, event_type: EventType, workload: DvfsModel) -> None:
+        """Record the measured workload of a completed event."""
+        self._sum_tmem[event_type] = self._sum_tmem.get(event_type, 0.0) + workload.tmem_ms
+        self._sum_ndep[event_type] = self._sum_ndep.get(event_type, 0.0) + workload.ndep_mcycles
+        self._count[event_type] = self._count.get(event_type, 0) + 1
+
+    def estimate(self, event_type: EventType) -> DvfsModel:
+        """Expected workload for the next event of this type."""
+        count = self._count.get(event_type, 0)
+        if count == 0:
+            return self._model.typical(event_type)
+        return DvfsModel(
+            tmem_ms=self._sum_tmem[event_type] / count,
+            ndep_mcycles=self._sum_ndep[event_type] / count,
+        )
+
+    def observations(self, event_type: EventType) -> int:
+        return self._count.get(event_type, 0)
+
+
+@dataclass
+class ArrivalEstimator:
+    """Running estimate of user inter-arrival gaps per interaction class.
+
+    The estimate used for deadlines is deliberately pessimistic: a low
+    quantile of the gaps observed so far (per interaction class), scaled by
+    ``conservatism``.  User think times are long-tailed and bi-modal (slow
+    deliberate interactions mixed with rapid bursts), so planning against a
+    mean would let speculative frames finish after a burst's next input has
+    already arrived; planning against a low quantile keeps the speculative
+    schedule deadline-safe at the cost of a slightly less aggressive energy
+    optimisation.
+    """
+
+    conservatism: float = 0.8
+    quantile: float = 0.25
+    max_samples: int = 200
+    initial_gap_ms: dict[Interaction, float] = field(
+        default_factory=lambda: {
+            Interaction.LOAD: 2500.0,
+            Interaction.TAP: 900.0,
+            Interaction.MOVE: 300.0,
+        }
+    )
+    _gaps: dict[Interaction, list[float]] = field(default_factory=dict)
+    _last_arrival_ms: float | None = None
+    _last_interaction: Interaction | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.conservatism <= 1.0:
+            raise ValueError("conservatism must be in (0, 1]")
+        if not 0.0 < self.quantile <= 0.5:
+            raise ValueError("quantile must be in (0, 0.5]")
+        if self.max_samples <= 0:
+            raise ValueError("max_samples must be positive")
+
+    def record_arrival(self, event_type: EventType, arrival_ms: float) -> None:
+        """Record an actual event arrival to refine the gap estimates."""
+        interaction = interaction_of(event_type)
+        if self._last_arrival_ms is not None and arrival_ms >= self._last_arrival_ms:
+            gaps = self._gaps.setdefault(interaction, [])
+            gaps.append(arrival_ms - self._last_arrival_ms)
+            if len(gaps) > self.max_samples:
+                del gaps[0]
+        self._last_arrival_ms = arrival_ms
+        self._last_interaction = interaction
+
+    def expected_gap_ms(self, event_type: EventType) -> float:
+        """Pessimistic estimate of the gap before an event of this type."""
+        interaction = interaction_of(event_type)
+        gaps = self._gaps.get(interaction)
+        if not gaps:
+            estimate = self.initial_gap_ms[interaction]
+        else:
+            estimate = float(np.quantile(gaps, self.quantile))
+        return self.conservatism * estimate
+
+
+@dataclass
+class GlobalOptimizer:
+    """Formulates and solves the energy/QoS scheduling window (Eqn. 2–5)."""
+
+    system: AcmpSystem
+    power_table: PowerTable
+    workload_estimator: WorkloadEstimator
+    arrival_estimator: ArrivalEstimator = field(default_factory=ArrivalEstimator)
+    use_exact_solver: bool = True
+    dp_bucket_ms: float = 2.0
+    #: Small reserve per event for the rendering hand-off / VSync quantisation.
+    safety_margin_ms: float = 8.0
+
+    def __post_init__(self) -> None:
+        self._bb = BranchAndBoundSolver()
+        self._dp = DynamicProgrammingSolver(bucket_ms=self.dp_bucket_ms)
+
+    # -- spec construction -------------------------------------------------------
+
+    def _options_for(self, workload: DvfsModel):
+        return tuple(
+            enumerate_options(self.system, self.power_table, workload, pareto_only=True)
+        )
+
+    def build_specs(
+        self,
+        now_ms: float,
+        outstanding: list[TraceEvent],
+        predicted: list[PredictedEvent],
+    ) -> list[EventSpec]:
+        """Combine outstanding and predicted events into one scheduling window.
+
+        Outstanding events keep their true arrival and deadline.  Predicted
+        events are released immediately (that is the proactive part) and get
+        deadlines derived from conservatively estimated arrival times.
+        """
+        specs: list[EventSpec] = []
+        horizon = now_ms
+        for event in outstanding:
+            specs.append(
+                EventSpec(
+                    label=f"outstanding-{event.index}",
+                    release_ms=event.arrival_ms,
+                    deadline_ms=max(
+                        event.deadline_ms - self.safety_margin_ms, event.arrival_ms
+                    ),
+                    options=self._options_for(event.workload),
+                    speculative=False,
+                )
+            )
+            horizon = max(horizon, event.deadline_ms)
+
+        predicted_arrival = now_ms
+        for position, prediction in enumerate(predicted):
+            predicted_arrival += self.arrival_estimator.expected_gap_ms(prediction.event_type)
+            workload = self.workload_estimator.estimate(prediction.event_type)
+            deadline = predicted_arrival + qos_target_ms(prediction.event_type)
+            specs.append(
+                EventSpec(
+                    label=f"predicted-{position}-{prediction.event_type.value}",
+                    release_ms=now_ms,
+                    deadline_ms=max(deadline - self.safety_margin_ms, now_ms),
+                    options=self._options_for(workload),
+                    speculative=True,
+                )
+            )
+        return specs
+
+    # -- solving ------------------------------------------------------------------
+
+    def solve(self, specs: list[EventSpec], now_ms: float) -> Schedule:
+        solver = self._bb if self.use_exact_solver else self._dp
+        return solver.solve(specs, now_ms)
+
+    def compute_schedule(
+        self,
+        now_ms: float,
+        outstanding: list[TraceEvent],
+        predicted: list[PredictedEvent],
+    ) -> Schedule:
+        """End-to-end: build the window from events and solve it."""
+        specs = self.build_specs(now_ms, outstanding, predicted)
+        return self.solve(specs, now_ms)

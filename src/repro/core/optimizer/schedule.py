@@ -1,0 +1,121 @@
+"""Data model of the constrained scheduling problem and its solutions.
+
+The optimisation of Sec. 5.3 assigns exactly one ACMP configuration to each
+scheduled event (Eqn. 2), models each event's latency with the DVFS model
+(Eqn. 3), constrains each event to finish before its deadline given the
+sequential execution order (Eqn. 4), and minimises total energy (Eqn. 5).
+
+:class:`EventSpec` is one row of that problem — an event (outstanding or
+predicted) with its release time, deadline, and per-configuration
+latency/energy options.  :class:`Schedule` is a solved instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.schedulers.base import ConfigOption
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """One event of a scheduling window.
+
+    ``release_ms`` is the earliest time the event's execution may start
+    (now, for speculative execution of predicted events; the arrival time
+    for outstanding events).  ``deadline_ms`` is the absolute QoS deadline.
+    ``options`` are the candidate configurations (latency/power per
+    configuration, usually Pareto-pruned).  ``speculative`` marks predicted
+    events, whose frames go through the pending frame buffer.
+    """
+
+    label: str
+    release_ms: float
+    deadline_ms: float
+    options: tuple[ConfigOption, ...]
+    speculative: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.options:
+            raise ValueError(f"event {self.label!r} has no configuration options")
+        if self.deadline_ms < self.release_ms:
+            raise ValueError(f"event {self.label!r} has a deadline before its release time")
+
+    @property
+    def fastest_option(self) -> ConfigOption:
+        return min(self.options, key=lambda o: (o.latency_ms, o.energy_mj))
+
+    @property
+    def cheapest_option(self) -> ConfigOption:
+        return min(self.options, key=lambda o: (o.energy_mj, o.latency_ms))
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """The chosen configuration and resulting timing for one event."""
+
+    spec: EventSpec
+    option: ConfigOption
+    start_ms: float
+    finish_ms: float
+
+    @property
+    def meets_deadline(self) -> bool:
+        return self.finish_ms <= self.spec.deadline_ms + 1e-9
+
+    @property
+    def lateness_ms(self) -> float:
+        return max(0.0, self.finish_ms - self.spec.deadline_ms)
+
+    @property
+    def energy_mj(self) -> float:
+        return self.option.energy_mj
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A solved scheduling window."""
+
+    assignments: tuple[Assignment, ...]
+    feasible: bool
+    solver: str = "unspecified"
+
+    @property
+    def total_energy_mj(self) -> float:
+        return sum(a.energy_mj for a in self.assignments)
+
+    @property
+    def total_lateness_ms(self) -> float:
+        return sum(a.lateness_ms for a in self.assignments)
+
+    @property
+    def violations(self) -> int:
+        return sum(1 for a in self.assignments if not a.meets_deadline)
+
+    def __len__(self) -> int:
+        return len(self.assignments)
+
+    def __iter__(self):
+        return iter(self.assignments)
+
+
+def simulate_order(
+    specs: Sequence[EventSpec], choices: Sequence[ConfigOption], window_start_ms: float
+) -> tuple[Assignment, ...]:
+    """Compute start/finish times for a fixed choice of options per event.
+
+    Events execute sequentially on the runtime's main thread in the given
+    order: each starts at the later of its release time and the previous
+    event's finish.
+    """
+    if len(specs) != len(choices):
+        raise ValueError("one option must be chosen per event spec")
+    assignments: list[Assignment] = []
+    clock = window_start_ms
+    for spec, option in zip(specs, choices):
+        start = max(clock, spec.release_ms)
+        finish = start + option.latency_ms
+        assignments.append(Assignment(spec=spec, option=option, start_ms=start, finish_ms=finish))
+        clock = finish
+    return tuple(assignments)

@@ -1,0 +1,27 @@
+"""Hybrid event prediction: statistical inference + program (DOM) analysis."""
+
+from repro.core.predictor.features import FeatureExtractor, EventLabelEncoder, FEATURE_NAMES
+from repro.core.predictor.logistic import LogisticRegression, OneVsRestLogistic, SoftmaxRegression
+from repro.core.predictor.dom_analysis import DomAnalyzer
+from repro.core.predictor.hints import EventHint, HintBook
+from repro.core.predictor.sequence_learner import EventSequenceLearner, PredictedEvent
+from repro.core.predictor.hybrid import HybridEventPredictor
+from repro.core.predictor.training import PredictorTrainer, TrainingResult, evaluate_accuracy
+
+__all__ = [
+    "FeatureExtractor",
+    "EventLabelEncoder",
+    "FEATURE_NAMES",
+    "LogisticRegression",
+    "OneVsRestLogistic",
+    "SoftmaxRegression",
+    "DomAnalyzer",
+    "EventHint",
+    "HintBook",
+    "EventSequenceLearner",
+    "PredictedEvent",
+    "HybridEventPredictor",
+    "PredictorTrainer",
+    "TrainingResult",
+    "evaluate_accuracy",
+]

@@ -1,0 +1,102 @@
+"""Developer-provided event hints (the paper's future-work extension).
+
+Sec. 7 of the paper suggests that, beyond the fully-transparent design,
+"language extensions such as hints for predicting future events could
+better guide PES scheduling" (in the spirit of GreenWeb's QoS annotations).
+This module implements that extension: an application developer can
+register :class:`EventHint` rules — "after event X (optionally on node Y),
+the next event will be Z" — and a :class:`HintBook` consulted by the
+hybrid predictor before the statistical model.
+
+A hint that fires replaces the learner's prediction for that step with the
+hinted event type at the hint's stated confidence, so well-placed hints
+both extend the prediction degree (high confidence keeps the cumulative
+product above the threshold) and avoid mis-predictions on transitions the
+statistical model finds hard (e.g. a checkout button that always leads to
+a form submit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.traces.session_state import SessionState
+from repro.webapp.events import EventType
+
+
+@dataclass(frozen=True)
+class EventHint:
+    """One developer annotation about the application's interaction flow.
+
+    Parameters
+    ----------
+    after_event:
+        The event type the user has just performed.
+    next_event:
+        The event type the developer expects next.
+    after_node_id:
+        Optional: the hint only applies when the observed event landed on
+        this DOM node (e.g. a specific button).
+    confidence:
+        The developer's stated confidence, used as the prediction's
+        confidence value.
+    """
+
+    after_event: EventType
+    next_event: EventType
+    after_node_id: str | None = None
+    confidence: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.confidence <= 1.0:
+            raise ValueError("confidence must be in (0, 1]")
+
+    def matches(self, last_event: EventType | None, last_node_id: str | None) -> bool:
+        """Whether this hint applies to the most recent observed event."""
+        if last_event is None or last_event is not self.after_event:
+            return False
+        if self.after_node_id is not None and self.after_node_id != last_node_id:
+            return False
+        return True
+
+
+@dataclass
+class HintBook:
+    """Registry of developer hints for one application."""
+
+    hints: list[EventHint] = field(default_factory=list)
+
+    def add(self, hint: EventHint) -> None:
+        self.hints.append(hint)
+
+    def __len__(self) -> int:
+        return len(self.hints)
+
+    def lookup(
+        self, last_event: EventType | None, last_node_id: str | None
+    ) -> EventHint | None:
+        """The first registered hint that applies to the last observed event.
+
+        Registration order is precedence order, so more specific hints
+        (with ``after_node_id``) should be registered before generic ones.
+        """
+        for hint in self.hints:
+            if hint.matches(last_event, last_node_id):
+                return hint
+        return None
+
+    def suggest(self, state: SessionState) -> tuple[EventType, float] | None:
+        """Suggestion for the next event given a session state.
+
+        Returns ``None`` when no hint applies or when the hinted event is
+        not currently possible on the page (the DOM analysis always wins:
+        a hint cannot predict an event the document cannot produce).
+        """
+        last = state.history[-1] if state.history else None
+        hint = self.lookup(last.event_type if last else None, last.node_id if last else None)
+        if hint is None:
+            return None
+        available = state.available_events()
+        if available and hint.next_event not in available:
+            return None
+        return hint.next_event, hint.confidence

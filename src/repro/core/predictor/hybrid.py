@@ -1,0 +1,84 @@
+"""Hybrid event predictor: the online component PES embeds per session.
+
+The hybrid predictor owns
+
+* a live :class:`~repro.traces.session_state.SessionState` for the
+  application being interacted with (updated by :meth:`observe` as actual
+  events arrive),
+* the trained :class:`~repro.core.predictor.sequence_learner.EventSequenceLearner`
+  (shared across applications — the model is trained once on traces from
+  all training applications), and
+* a :class:`~repro.core.predictor.dom_analysis.DomAnalyzer` that makes the
+  shared learner application-specific at runtime by restricting its
+  prediction space to the current page's Likely-Next-Event-Set.
+
+``use_dom_analysis=False`` reproduces the ablation of Sec. 6.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.predictor.dom_analysis import DomAnalyzer
+from repro.core.predictor.hints import HintBook
+from repro.core.predictor.sequence_learner import EventSequenceLearner, PredictedEvent
+from repro.traces.session_state import SessionState
+from repro.webapp.apps import AppProfile
+from repro.webapp.events import EventType
+
+
+@dataclass
+class HybridEventPredictor:
+    """Per-session wrapper combining statistical inference and DOM analysis."""
+
+    learner: EventSequenceLearner
+    profile: AppProfile
+    use_dom_analysis: bool = True
+    #: Optional developer-provided hints (Sec. 7 future-work extension);
+    #: consulted before the statistical model at every prediction step.
+    hints: HintBook | None = None
+    state: SessionState = field(init=False)
+    analyzer: DomAnalyzer = field(init=False)
+    predictions_made: int = 0
+    rounds: int = 0
+
+    def __post_init__(self) -> None:
+        self.state = SessionState.fresh(self.profile)
+        self.analyzer = DomAnalyzer(encoder=self.learner.encoder)
+
+    # -- observation of ground truth ------------------------------------------
+
+    def observe(self, event_type: EventType, node_id: str, navigates: bool | None = None) -> None:
+        """Record an actual user event, keeping the DOM view in sync."""
+        self.state.apply_event(event_type, node_id, navigates=navigates)
+
+    # -- prediction --------------------------------------------------------------
+
+    def predict_sequence(self) -> list[PredictedEvent]:
+        """Predict the upcoming event sequence from the current state."""
+        predictions = self.learner.predict_sequence(
+            self.state,
+            self.analyzer,
+            use_dom_analysis=self.use_dom_analysis,
+            hint_provider=self.hints.suggest if self.hints is not None else None,
+        )
+        self.rounds += 1
+        self.predictions_made += len(predictions)
+        return predictions
+
+    def predict_next(self) -> tuple[EventType, float]:
+        """Predict only the immediate next event (used by accuracy evaluation)."""
+        if self.hints is not None:
+            suggestion = self.hints.suggest(self.state)
+            if suggestion is not None:
+                return suggestion
+        mask = self.analyzer.lnes_mask(self.state) if self.use_dom_analysis else None
+        return self.learner.predict_next(self.state, mask=mask)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Start a fresh session (new document, empty history)."""
+        self.state = SessionState.fresh(self.profile)
+        self.predictions_made = 0
+        self.rounds = 0

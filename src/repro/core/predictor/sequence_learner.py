@@ -1,0 +1,126 @@
+"""Event sequence learner: recurrent next-event prediction with confidence.
+
+The learner estimates ``p(y1..yT' | x1..xT)`` one step at a time: every
+step builds a feature vector from the session state, asks the one-vs-rest
+logistic models for the probability of each candidate next event, predicts
+the most likely one, and feeds the prediction back (by rolling the session
+state forward) to predict the following event.  Prediction stops when the
+*cumulative* confidence — the product of the per-step confidences — drops
+below the confidence threshold (70% by default); the number of events
+predicted before stopping is the prediction degree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.predictor.dom_analysis import DomAnalyzer
+from repro.core.predictor.features import EventLabelEncoder, FeatureExtractor
+from repro.core.predictor.logistic import OneVsRestLogistic, SoftmaxRegression
+from repro.traces.session_state import SessionState
+from repro.webapp.events import EventType
+
+#: Default cumulative-confidence threshold (Sec. 5.2, empirically 70%).
+DEFAULT_CONFIDENCE_THRESHOLD: float = 0.70
+
+#: Hard cap on how many events a single prediction round may produce; the
+#: threshold normally stops prediction earlier (degree ≈ 5 in the paper).
+DEFAULT_MAX_DEGREE: int = 12
+
+
+@dataclass(frozen=True)
+class PredictedEvent:
+    """One predicted future event with its per-step and cumulative confidence."""
+
+    event_type: EventType
+    confidence: float
+    cumulative_confidence: float
+    node_id: str
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ValueError("confidence must be in [0, 1]")
+        if not 0.0 <= self.cumulative_confidence <= 1.0 + 1e-9:
+            raise ValueError("cumulative confidence must be in [0, 1]")
+
+
+@dataclass
+class EventSequenceLearner:
+    """Trained logistic models plus the recurrent prediction loop."""
+
+    model: SoftmaxRegression | OneVsRestLogistic
+    encoder: EventLabelEncoder = field(default_factory=EventLabelEncoder)
+    extractor: FeatureExtractor = field(default_factory=FeatureExtractor)
+    confidence_threshold: float = DEFAULT_CONFIDENCE_THRESHOLD
+    max_degree: int = DEFAULT_MAX_DEGREE
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.confidence_threshold <= 1.0:
+            raise ValueError("confidence_threshold must be in (0, 1]")
+        if self.max_degree <= 0:
+            raise ValueError("max_degree must be positive")
+
+    # -- single-step prediction ------------------------------------------------
+
+    def predict_next(
+        self, state: SessionState, *, mask: np.ndarray | None = None
+    ) -> tuple[EventType, float]:
+        """Predict the immediate next event type and its confidence."""
+        features = self.extractor.extract(state)
+        probabilities = self.model.predict_proba(features, mask)[0]
+        index = int(probabilities.argmax())
+        return self.encoder.decode(index), float(probabilities[index])
+
+    # -- recurrent multi-step prediction -----------------------------------------
+
+    def predict_sequence(
+        self,
+        state: SessionState,
+        analyzer: DomAnalyzer | None = None,
+        *,
+        use_dom_analysis: bool = True,
+        hint_provider=None,
+    ) -> list[PredictedEvent]:
+        """Predict the upcoming event sequence from the current session state.
+
+        ``analyzer`` provides the DOM analysis; when omitted or when
+        ``use_dom_analysis`` is False the learner predicts over the full
+        event-type space (the ablation of Sec. 6.5).  ``hint_provider`` is an
+        optional callable mapping the (hypothetical) session state to a
+        ``(event type, confidence)`` developer hint; when it fires for a step
+        it takes precedence over the statistical model (Sec. 7 extension).
+        """
+        predictions: list[PredictedEvent] = []
+        cumulative = 1.0
+        current = state.clone()
+        dom = analyzer if (analyzer is not None and use_dom_analysis) else None
+
+        for _ in range(self.max_degree):
+            suggestion = hint_provider(current) if hint_provider is not None else None
+            if suggestion is not None:
+                event_type, confidence = suggestion
+            else:
+                mask = dom.lnes_mask(current) if dom is not None else None
+                event_type, confidence = self.predict_next(current, mask=mask)
+            cumulative *= confidence
+            if cumulative < self.confidence_threshold:
+                break
+
+            if dom is not None:
+                target = dom.representative_target(current, event_type)
+            else:
+                target = None
+            node_id = target.node_id if target is not None else current.dom.root.node_id
+            predictions.append(
+                PredictedEvent(
+                    event_type=event_type,
+                    confidence=confidence,
+                    cumulative_confidence=cumulative,
+                    node_id=node_id,
+                )
+            )
+            current.apply_event(event_type, node_id)
+
+        return predictions

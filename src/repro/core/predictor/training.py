@@ -1,0 +1,157 @@
+"""Offline predictor training and accuracy evaluation.
+
+The paper trains the event sequence model offline on recorded interaction
+traces from all 12 training applications (so the statistical model is
+generic), then relies on the runtime DOM analysis to specialise it per
+application.  Training here replays each training trace through a
+:class:`~repro.traces.session_state.SessionState`, collects
+(feature vector, next event) pairs, and fits the one-vs-rest logistic
+models.  :func:`evaluate_accuracy` reproduces the Fig. 8 metric: the
+percentage of events whose type is predicted correctly, teacher-forced over
+held-out traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.predictor.dom_analysis import DomAnalyzer
+from repro.core.predictor.features import EventLabelEncoder, FeatureExtractor
+from repro.core.predictor.logistic import OneVsRestLogistic, SoftmaxRegression
+from repro.core.predictor.sequence_learner import (
+    DEFAULT_CONFIDENCE_THRESHOLD,
+    EventSequenceLearner,
+)
+from repro.traces.session_state import SessionState
+from repro.traces.trace import Trace, TraceSet
+from repro.webapp.apps import AppCatalog
+
+
+@dataclass
+class TrainingResult:
+    """A trained learner plus the dataset statistics behind it."""
+
+    learner: EventSequenceLearner
+    n_samples: int
+    n_traces: int
+    class_counts: dict[str, int]
+
+
+@dataclass
+class PredictorTrainer:
+    """Builds the training dataset from traces and fits the logistic models."""
+
+    catalog: AppCatalog = field(default_factory=AppCatalog)
+    encoder: EventLabelEncoder = field(default_factory=EventLabelEncoder)
+    extractor: FeatureExtractor = field(default_factory=FeatureExtractor)
+    #: "softmax" (multinomial, default) or "ovr" (strict one-vs-rest binary
+    #: logistic models); see :mod:`repro.core.predictor.logistic`.
+    model_kind: str = "softmax"
+    learning_rate: float = 0.5
+    max_iterations: int = 2000
+    l2: float = 1e-4
+    #: Calibrate the softmax temperature after fitting so that prediction
+    #: confidence tracks accuracy (drives the prediction degree).
+    calibrate_confidence: bool = True
+    confidence_threshold: float = DEFAULT_CONFIDENCE_THRESHOLD
+
+    def build_dataset(self, traces: TraceSet) -> tuple[np.ndarray, np.ndarray]:
+        """Replay traces into (features, labels) arrays.
+
+        For each event after the first, the sample's features describe the
+        session state *before* the event and the label is the event's type.
+        """
+        feature_rows: list[np.ndarray] = []
+        labels: list[int] = []
+        for trace in traces:
+            profile = self.catalog.get(trace.app_name)
+            state = SessionState.fresh(profile)
+            for position, event in enumerate(trace):
+                if position > 0:
+                    feature_rows.append(self.extractor.extract(state))
+                    labels.append(self.encoder.encode(event.event_type))
+                state.apply_event(event.event_type, event.node_id, navigates=event.navigates)
+        if not feature_rows:
+            raise ValueError("the trace set produced no training samples")
+        return np.vstack(feature_rows), np.array(labels, dtype=int)
+
+    def _make_model(self):
+        if self.model_kind == "softmax":
+            return SoftmaxRegression(
+                n_classes=self.encoder.n_classes,
+                learning_rate=self.learning_rate,
+                max_iterations=self.max_iterations,
+                l2=self.l2,
+            )
+        if self.model_kind == "ovr":
+            return OneVsRestLogistic(
+                n_classes=self.encoder.n_classes,
+                learning_rate=self.learning_rate,
+                max_iterations=self.max_iterations,
+                l2=self.l2,
+            )
+        raise ValueError(f"unknown model_kind {self.model_kind!r}; use 'softmax' or 'ovr'")
+
+    def train(self, traces: TraceSet) -> TrainingResult:
+        """Fit the logistic event-sequence model on the given traces."""
+        features, labels = self.build_dataset(traces)
+        model = self._make_model()
+        model.fit(features, labels)
+        if self.calibrate_confidence and hasattr(model, "calibrate_temperature"):
+            model.calibrate_temperature(features, labels)
+        learner = EventSequenceLearner(
+            model=model,
+            encoder=self.encoder,
+            extractor=self.extractor,
+            confidence_threshold=self.confidence_threshold,
+        )
+        class_counts = {
+            self.encoder.decode(i).value: int((labels == i).sum())
+            for i in range(self.encoder.n_classes)
+        }
+        return TrainingResult(
+            learner=learner,
+            n_samples=int(features.shape[0]),
+            n_traces=len(traces),
+            class_counts=class_counts,
+        )
+
+
+def evaluate_accuracy(
+    learner: EventSequenceLearner,
+    traces: TraceSet | list[Trace],
+    catalog: AppCatalog | None = None,
+    *,
+    use_dom_analysis: bool = True,
+) -> dict[str, float]:
+    """Per-application next-event prediction accuracy (the Fig. 8 metric).
+
+    The evaluation is teacher-forced: after each actual event the session
+    state is updated with the ground truth, and the prediction for the next
+    event is compared against what the user actually did.
+    """
+    catalog = catalog or AppCatalog()
+    analyzer = DomAnalyzer(encoder=learner.encoder)
+    correct: dict[str, int] = {}
+    total: dict[str, int] = {}
+
+    trace_list = list(traces)
+    for trace in trace_list:
+        profile = catalog.get(trace.app_name)
+        state = SessionState.fresh(profile)
+        for position, event in enumerate(trace):
+            if position > 0:
+                mask = analyzer.lnes_mask(state) if use_dom_analysis else None
+                predicted, _ = learner.predict_next(state, mask=mask)
+                total[trace.app_name] = total.get(trace.app_name, 0) + 1
+                if predicted == event.event_type:
+                    correct[trace.app_name] = correct.get(trace.app_name, 0) + 1
+            state.apply_event(event.event_type, event.node_id, navigates=event.navigates)
+
+    return {
+        app: correct.get(app, 0) / count
+        for app, count in total.items()
+        if count > 0
+    }

@@ -1,0 +1,200 @@
+"""Asymmetric chip-multiprocessor (ACMP) description.
+
+An ACMP system is a set of clusters (typically one high-performance
+out-of-order "big" cluster and one energy-conserving in-order "little"
+cluster), each exposing a ladder of DVFS frequencies.  The scheduling knob
+used throughout the paper is a ``<core, frequency>`` tuple, represented here
+by :class:`AcmpConfig`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+
+class ClusterKind(enum.Enum):
+    """Microarchitectural class of a cluster."""
+
+    BIG = "big"
+    LITTLE = "little"
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """One homogeneous core cluster of an ACMP system.
+
+    Parameters
+    ----------
+    name:
+        Human-readable cluster name, e.g. ``"A15"``.
+    kind:
+        Whether this is the big (out-of-order) or little (in-order) cluster.
+    core_count:
+        Number of cores in the cluster.
+    frequencies_mhz:
+        Available DVFS operating points in MHz, ascending.
+    perf_scale:
+        Relative single-thread performance of the cluster at equal frequency,
+        normalised so the big cluster is 1.0.  The little in-order cluster
+        retires fewer instructions per cycle, so its ``perf_scale`` is < 1.
+    """
+
+    name: str
+    kind: ClusterKind
+    core_count: int
+    frequencies_mhz: tuple[int, ...]
+    perf_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.core_count <= 0:
+            raise ValueError("core_count must be positive")
+        if not self.frequencies_mhz:
+            raise ValueError("a cluster needs at least one frequency")
+        if list(self.frequencies_mhz) != sorted(self.frequencies_mhz):
+            raise ValueError("frequencies_mhz must be ascending")
+        if len(set(self.frequencies_mhz)) != len(self.frequencies_mhz):
+            raise ValueError("frequencies_mhz must be unique")
+        if not 0.0 < self.perf_scale <= 1.0:
+            raise ValueError("perf_scale must be in (0, 1]")
+
+    @property
+    def min_frequency_mhz(self) -> int:
+        return self.frequencies_mhz[0]
+
+    @property
+    def max_frequency_mhz(self) -> int:
+        return self.frequencies_mhz[-1]
+
+    def nearest_frequency(self, target_mhz: float) -> int:
+        """Return the available frequency closest to ``target_mhz``.
+
+        Ties are resolved toward the higher frequency so a utilisation-driven
+        governor never under-provisions due to rounding.
+        """
+        best = self.frequencies_mhz[0]
+        best_dist = abs(best - target_mhz)
+        for freq in self.frequencies_mhz[1:]:
+            dist = abs(freq - target_mhz)
+            if dist < best_dist or (dist == best_dist and freq > best):
+                best, best_dist = freq, dist
+        return best
+
+    def ceil_frequency(self, target_mhz: float) -> int:
+        """Return the smallest available frequency >= ``target_mhz``.
+
+        Returns the maximum frequency if the target exceeds the ladder.
+        """
+        for freq in self.frequencies_mhz:
+            if freq >= target_mhz:
+                return freq
+        return self.max_frequency_mhz
+
+
+@dataclass(frozen=True, order=True)
+class AcmpConfig:
+    """A ``<core, frequency>`` scheduling configuration.
+
+    The ordering (cluster name, then frequency) is only used to make
+    collections of configurations deterministic; it carries no performance
+    meaning.
+    """
+
+    cluster_name: str
+    frequency_mhz: int
+
+    @property
+    def frequency_ghz(self) -> float:
+        return self.frequency_mhz / 1000.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.cluster_name}, {self.frequency_mhz} MHz>"
+
+
+@dataclass
+class AcmpSystem:
+    """A full ACMP system: a named set of clusters.
+
+    The system enumerates the configuration space used by every scheduler,
+    and knows which cluster a configuration belongs to.
+    """
+
+    name: str
+    clusters: Sequence[Cluster]
+    _by_name: dict[str, Cluster] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.clusters:
+            raise ValueError("an ACMP system needs at least one cluster")
+        names = [c.name for c in self.clusters]
+        if len(set(names)) != len(names):
+            raise ValueError("cluster names must be unique")
+        self._by_name = {c.name: c for c in self.clusters}
+
+    def cluster(self, name: str) -> Cluster:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown cluster {name!r} in system {self.name!r}") from None
+
+    def cluster_of(self, config: AcmpConfig) -> Cluster:
+        return self.cluster(config.cluster_name)
+
+    @property
+    def big_cluster(self) -> Cluster:
+        return self._cluster_by_kind(ClusterKind.BIG)
+
+    @property
+    def little_cluster(self) -> Cluster:
+        return self._cluster_by_kind(ClusterKind.LITTLE)
+
+    def _cluster_by_kind(self, kind: ClusterKind) -> Cluster:
+        for cluster in self.clusters:
+            if cluster.kind is kind:
+                return cluster
+        raise LookupError(f"system {self.name!r} has no {kind.value} cluster")
+
+    def configurations(self) -> list[AcmpConfig]:
+        """Enumerate every ``<core, frequency>`` configuration, deterministic order."""
+        configs: list[AcmpConfig] = []
+        for cluster in self.clusters:
+            for freq in cluster.frequencies_mhz:
+                configs.append(AcmpConfig(cluster.name, freq))
+        return configs
+
+    def __iter__(self) -> Iterator[AcmpConfig]:
+        return iter(self.configurations())
+
+    def __len__(self) -> int:
+        return sum(len(c.frequencies_mhz) for c in self.clusters)
+
+    def validate_config(self, config: AcmpConfig) -> None:
+        """Raise ``ValueError`` if ``config`` is not realisable on this system."""
+        cluster = self.cluster_of(config)
+        if config.frequency_mhz not in cluster.frequencies_mhz:
+            raise ValueError(
+                f"{config} is not an operating point of cluster {cluster.name!r}"
+            )
+
+    @property
+    def max_performance_config(self) -> AcmpConfig:
+        """The highest-performance configuration (big cluster at max frequency)."""
+        big = self.big_cluster
+        return AcmpConfig(big.name, big.max_frequency_mhz)
+
+    @property
+    def min_performance_config(self) -> AcmpConfig:
+        """The lowest-performance configuration (little cluster at min frequency)."""
+        little = self.little_cluster
+        return AcmpConfig(little.name, little.min_frequency_mhz)
+
+    def effective_frequency_ghz(self, config: AcmpConfig) -> float:
+        """Frequency scaled by the cluster's relative IPC.
+
+        The DVFS latency model divides the compute cycles by this effective
+        frequency, so an in-order little core at the same nominal frequency
+        yields a longer execution time than the out-of-order big core.
+        """
+        cluster = self.cluster_of(config)
+        return config.frequency_ghz * cluster.perf_scale

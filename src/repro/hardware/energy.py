@@ -1,0 +1,106 @@
+"""Energy accounting — the simulator's stand-in for the DAQ measurement rig.
+
+The paper measures processor energy with current-sense resistors sampled at
+1 kHz.  In the simulator, energy is accounted per execution interval from
+the power table (active power during event execution, idle power otherwise)
+plus fixed costs for DVFS transitions and core migrations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.acmp import AcmpConfig
+from repro.hardware.power import PowerTable
+
+
+@dataclass(frozen=True)
+class SwitchingCosts:
+    """Fixed overheads for changing the hardware configuration.
+
+    The paper reports roughly 100 µs for a frequency switch and 20 µs for a
+    core migration; the energy of a switch is charged at the destination
+    configuration's active power.
+    """
+
+    frequency_switch_ms: float = 0.1
+    core_migration_ms: float = 0.02
+
+    def switch_latency_ms(self, old: AcmpConfig | None, new: AcmpConfig) -> float:
+        """Latency cost of moving from ``old`` to ``new`` (0 if unchanged)."""
+        if old is None or old == new:
+            return 0.0
+        cost = 0.0
+        if old.cluster_name != new.cluster_name:
+            cost += self.core_migration_ms
+        if old.frequency_mhz != new.frequency_mhz or old.cluster_name != new.cluster_name:
+            cost += self.frequency_switch_ms
+        return cost
+
+
+@dataclass(frozen=True)
+class EnergyRecord:
+    """Energy consumed by one accounted interval."""
+
+    label: str
+    config: AcmpConfig | None
+    duration_ms: float
+    energy_mj: float
+    wasted: bool = False
+
+
+@dataclass
+class EnergyMeter:
+    """Accumulates energy over a simulated session.
+
+    ``wasted`` intervals correspond to speculative work that was eventually
+    squashed on a mis-prediction; they are included in the total (the
+    hardware really spent that energy) but reported separately so the
+    mis-prediction overhead of Fig. 10 / Sec. 6.3 can be recovered.
+    """
+
+    power_table: PowerTable
+    records: list[EnergyRecord] = field(default_factory=list)
+
+    def record_active(
+        self,
+        label: str,
+        config: AcmpConfig,
+        duration_ms: float,
+        *,
+        wasted: bool = False,
+    ) -> EnergyRecord:
+        if duration_ms < 0:
+            raise ValueError("duration must be non-negative")
+        power_w = self.power_table.power_w(config)
+        energy_mj = power_w * duration_ms  # W * ms == mJ
+        record = EnergyRecord(label, config, duration_ms, energy_mj, wasted)
+        self.records.append(record)
+        return record
+
+    def record_idle(self, label: str, duration_ms: float) -> EnergyRecord:
+        if duration_ms < 0:
+            raise ValueError("duration must be non-negative")
+        energy_mj = self.power_table.idle_w * duration_ms
+        record = EnergyRecord(label, None, duration_ms, energy_mj, wasted=False)
+        self.records.append(record)
+        return record
+
+    @property
+    def total_energy_mj(self) -> float:
+        return sum(r.energy_mj for r in self.records)
+
+    @property
+    def wasted_energy_mj(self) -> float:
+        return sum(r.energy_mj for r in self.records if r.wasted)
+
+    @property
+    def active_energy_mj(self) -> float:
+        return sum(r.energy_mj for r in self.records if r.config is not None)
+
+    @property
+    def idle_energy_mj(self) -> float:
+        return sum(r.energy_mj for r in self.records if r.config is None)
+
+    def reset(self) -> None:
+        self.records.clear()

@@ -1,0 +1,79 @@
+"""Concrete platform definitions used in the evaluation.
+
+``exynos_5410`` is the Samsung Exynos 5410 SoC on the ODROID XU+E board
+(the paper's primary platform): four out-of-order Cortex-A15 cores at
+800 MHz – 1.8 GHz in 100 MHz steps and four in-order Cortex-A7 cores at
+350 MHz – 600 MHz in 50 MHz steps.
+
+``tegra_parker`` models the Nvidia TX2 "Parker" SoC used for the paper's
+"other devices" sensitivity study (Sec. 6.5): Cortex-A57 cores with a wider
+DVFS range plus the Denver2-class cluster abstracted as the big cluster.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.acmp import AcmpSystem, Cluster, ClusterKind
+
+
+def _range_mhz(start: int, stop: int, step: int) -> tuple[int, ...]:
+    return tuple(range(start, stop + step, step))
+
+
+def exynos_5410() -> AcmpSystem:
+    """The Exynos 5410 (Samsung Galaxy S4 / ODROID XU+E) ACMP system."""
+    big = Cluster(
+        name="A15",
+        kind=ClusterKind.BIG,
+        core_count=4,
+        frequencies_mhz=_range_mhz(800, 1800, 100),
+        perf_scale=1.0,
+    )
+    little = Cluster(
+        name="A7",
+        kind=ClusterKind.LITTLE,
+        core_count=4,
+        frequencies_mhz=_range_mhz(350, 600, 50),
+        perf_scale=0.45,
+    )
+    return AcmpSystem(name="exynos5410", clusters=(big, little))
+
+
+def tegra_parker() -> AcmpSystem:
+    """The Nvidia Parker SoC on the TX2 board (Sec. 6.5 "Other Devices")."""
+    big = Cluster(
+        name="A57",
+        kind=ClusterKind.BIG,
+        core_count=4,
+        frequencies_mhz=_range_mhz(500, 2000, 100),
+        perf_scale=1.0,
+    )
+    little = Cluster(
+        name="A57-low",
+        kind=ClusterKind.LITTLE,
+        core_count=2,
+        frequencies_mhz=_range_mhz(350, 800, 50),
+        perf_scale=0.6,
+    )
+    return AcmpSystem(name="tegra_parker", clusters=(big, little))
+
+
+_PLATFORM_FACTORIES = {
+    "exynos5410": exynos_5410,
+    "tegra_parker": tegra_parker,
+}
+
+
+def list_platforms() -> list[str]:
+    """Names accepted by :func:`get_platform`."""
+    return sorted(_PLATFORM_FACTORIES)
+
+
+def get_platform(name: str) -> AcmpSystem:
+    """Build a platform by name; raises ``KeyError`` for unknown names."""
+    try:
+        factory = _PLATFORM_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown platform {name!r}; available: {', '.join(list_platforms())}"
+        ) from None
+    return factory()

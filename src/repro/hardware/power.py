@@ -1,0 +1,134 @@
+"""Per-configuration power model.
+
+The paper measures the power of every ``<core, frequency>`` combination
+offline and stores the result in a lookup table loaded at application boot.
+We reproduce that structure: :class:`PowerTable` is the lookup table, and
+:class:`PowerModel` builds a calibrated table analytically (active power
+roughly proportional to ``C · f · V²`` with voltage rising with frequency,
+plus static leakage, with big cores several times hungrier than little
+cores at equal frequency).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from repro.hardware.acmp import AcmpConfig, AcmpSystem, Cluster, ClusterKind
+
+
+@dataclass(frozen=True)
+class ClusterPowerParams:
+    """Analytical power parameters for one cluster.
+
+    ``active_w`` at a configuration is
+    ``static_w + dynamic_coeff_w * (f / f_max)^exponent`` where ``f_max`` is
+    the cluster's maximum frequency; the exponent captures the supra-linear
+    growth caused by voltage scaling.
+    """
+
+    static_w: float
+    dynamic_coeff_w: float
+    exponent: float = 2.4
+    idle_w: float = 0.03
+
+    def __post_init__(self) -> None:
+        if self.static_w < 0 or self.dynamic_coeff_w < 0 or self.idle_w < 0:
+            raise ValueError("power parameters must be non-negative")
+        if self.exponent < 1.0:
+            raise ValueError("exponent must be >= 1 (power grows with frequency)")
+
+
+#: Default analytical parameters, calibrated so the Exynos 5410 big cluster
+#: at 1.8 GHz draws roughly 3.5 W and the little cluster at 600 MHz roughly
+#: 0.4 W, consistent with published big.LITTLE measurements.
+DEFAULT_CLUSTER_PARAMS: Mapping[ClusterKind, ClusterPowerParams] = {
+    ClusterKind.BIG: ClusterPowerParams(static_w=0.35, dynamic_coeff_w=3.1, exponent=2.4, idle_w=0.12),
+    ClusterKind.LITTLE: ClusterPowerParams(static_w=0.05, dynamic_coeff_w=0.35, exponent=2.0, idle_w=0.02),
+}
+
+
+@dataclass
+class PowerTable:
+    """Lookup table mapping configurations to active power in watts."""
+
+    active_w: dict[AcmpConfig, float]
+    idle_w: float = 0.14
+
+    def __post_init__(self) -> None:
+        for config, watts in self.active_w.items():
+            if watts <= 0:
+                raise ValueError(f"non-positive power for {config}")
+        if self.idle_w < 0:
+            raise ValueError("idle power must be non-negative")
+
+    def power_w(self, config: AcmpConfig) -> float:
+        try:
+            return self.active_w[config]
+        except KeyError:
+            raise KeyError(f"no power entry for configuration {config}") from None
+
+    def __contains__(self, config: AcmpConfig) -> bool:
+        return config in self.active_w
+
+    def to_json(self) -> str:
+        """Serialise the table, mirroring the paper's persisted power file."""
+        payload = {
+            "idle_w": self.idle_w,
+            "entries": [
+                {
+                    "cluster": cfg.cluster_name,
+                    "frequency_mhz": cfg.frequency_mhz,
+                    "power_w": watts,
+                }
+                for cfg, watts in sorted(self.active_w.items())
+            ],
+        }
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "PowerTable":
+        payload = json.loads(text)
+        entries = {
+            AcmpConfig(item["cluster"], int(item["frequency_mhz"])): float(item["power_w"])
+            for item in payload["entries"]
+        }
+        return cls(active_w=entries, idle_w=float(payload.get("idle_w", 0.14)))
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PowerTable":
+        return cls.from_json(Path(path).read_text())
+
+
+@dataclass
+class PowerModel:
+    """Analytical generator of :class:`PowerTable` instances for a system."""
+
+    cluster_params: Mapping[ClusterKind, ClusterPowerParams] = field(
+        default_factory=lambda: dict(DEFAULT_CLUSTER_PARAMS)
+    )
+
+    def params_for(self, cluster: Cluster) -> ClusterPowerParams:
+        try:
+            return self.cluster_params[cluster.kind]
+        except KeyError:
+            raise KeyError(f"no power parameters for cluster kind {cluster.kind}") from None
+
+    def active_power_w(self, system: AcmpSystem, config: AcmpConfig) -> float:
+        cluster = system.cluster_of(config)
+        params = self.params_for(cluster)
+        ratio = config.frequency_mhz / cluster.max_frequency_mhz
+        return params.static_w + params.dynamic_coeff_w * ratio**params.exponent
+
+    def idle_power_w(self, system: AcmpSystem) -> float:
+        return sum(self.params_for(c).idle_w for c in system.clusters)
+
+    def build_table(self, system: AcmpSystem) -> PowerTable:
+        """Measure (analytically) every configuration, like the paper's offline pass."""
+        table = {cfg: self.active_power_w(system, cfg) for cfg in system.configurations()}
+        return PowerTable(active_w=table, idle_w=self.idle_power_w(system))

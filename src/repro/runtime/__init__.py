@@ -1,0 +1,18 @@
+"""Runtime simulation: event-driven replay of traces under each scheduler."""
+
+from repro.runtime.metrics import EventOutcome, SessionResult, aggregate_results, AggregateMetrics
+from repro.runtime.engine import ReactiveEngine, ProactiveEngine, OracleEngine, EngineConfig
+from repro.runtime.simulator import Simulator, SimulationSetup
+
+__all__ = [
+    "EventOutcome",
+    "SessionResult",
+    "AggregateMetrics",
+    "aggregate_results",
+    "ReactiveEngine",
+    "ProactiveEngine",
+    "OracleEngine",
+    "EngineConfig",
+    "Simulator",
+    "SimulationSetup",
+]

@@ -1,0 +1,436 @@
+"""Event-driven simulation engines.
+
+Three engines replay a recorded/generated trace against the ACMP hardware
+model:
+
+* :class:`ReactiveEngine` — for per-event reactive schedulers (Interactive,
+  Ondemand, EBS).  Each event starts when it arrives (or when the previous
+  event finishes, whichever is later), runs under the scheduler's execution
+  plan, and is displayed at the next VSync.
+* :class:`ProactiveEngine` — for PES.  Between user inputs the engine
+  executes the speculative schedule produced by the PES optimizer; when an
+  actual event arrives, the control unit either commits the speculative
+  frame (correct prediction) or squashes the speculative state and the
+  event is executed reactively by the EBS fallback (mis-prediction).
+* :class:`OracleEngine` — the upper bound with a priori knowledge of the
+  entire event sequence, arrival times, and workloads.
+
+Energy accounting: active intervals are charged at the configuration's
+power from the power table; the remainder of the session is charged at idle
+power; work squashed on a mis-prediction is counted both in the total and
+separately as waste (Sec. 6.3 / Fig. 10).
+
+One modelling note: speculative executions that are later *committed* are
+timed and charged using the matching event's actual workload (speculation
+runs the real callback); executions that are later *squashed* are charged
+using the optimizer's estimated workload, truncated at the moment the
+mis-prediction is detected.  The Pending Frame Buffer history used for the
+Fig. 9 plot is based on the optimizer's planned completion times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.control.control_unit import MatchResult
+from repro.core.control.pfb import SpeculativeFrame
+from repro.core.optimizer.ilp import DynamicProgrammingSolver
+from repro.core.optimizer.schedule import Assignment, EventSpec
+from repro.core.pes import PesScheduler
+from repro.core.predictor.sequence_learner import PredictedEvent
+from repro.hardware.acmp import AcmpConfig, AcmpSystem
+from repro.hardware.dvfs import DvfsModel
+from repro.hardware.energy import SwitchingCosts
+from repro.hardware.power import PowerTable
+from repro.runtime.metrics import EventOutcome, SessionResult
+from repro.schedulers.base import EventContext, ExecutionPlan, ReactiveScheduler, enumerate_options
+from repro.schedulers.oracle import OracleScheduler
+from repro.traces.trace import Trace, TraceEvent
+from repro.webapp.rendering import RenderingPipeline
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Hardware and rendering models shared by every engine."""
+
+    system: AcmpSystem
+    power_table: PowerTable
+    pipeline: RenderingPipeline = field(default_factory=RenderingPipeline)
+    switching: SwitchingCosts = field(default_factory=SwitchingCosts)
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of executing one event's work under an execution plan."""
+
+    finish_ms: float
+    cpu_time_ms: float
+    active_energy_mj: float
+    final_config: AcmpConfig
+
+
+def execute_plan(
+    config: EngineConfig,
+    plan: ExecutionPlan,
+    workload: DvfsModel,
+    start_ms: float,
+    previous_config: AcmpConfig | None,
+) -> ExecutionResult:
+    """Run an event's work through the plan's configuration phases.
+
+    Work progresses proportionally: running for ``d`` milliseconds at a
+    configuration whose full-event latency is ``T`` completes ``d / T`` of
+    the event.  Configuration switches (cluster migration and/or frequency
+    change) add latency charged at the destination configuration's power.
+    """
+    elapsed = 0.0
+    energy = 0.0
+    remaining = 1.0
+    current = previous_config
+    for phase in plan.phases:
+        switch = config.switching.switch_latency_ms(current, phase.config)
+        power = config.power_table.power_w(phase.config)
+        if switch > 0.0:
+            elapsed += switch
+            energy += power * switch
+        current = phase.config
+        full_latency = workload.latency_ms(config.system, phase.config)
+        needed = remaining * full_latency
+        if phase.duration_ms is None or needed <= phase.duration_ms:
+            elapsed += needed
+            energy += power * needed
+            remaining = 0.0
+            break
+        elapsed += phase.duration_ms
+        energy += power * phase.duration_ms
+        remaining -= phase.duration_ms / full_latency
+    if remaining > 1e-9:
+        raise RuntimeError("execution plan ended before the event's work completed")
+    return ExecutionResult(
+        finish_ms=start_ms + elapsed,
+        cpu_time_ms=elapsed,
+        active_energy_mj=energy,
+        final_config=current if current is not None else plan.final_config,
+    )
+
+
+def _session_idle_energy(
+    config: EngineConfig, duration_ms: float, busy_ms: float
+) -> float:
+    idle_ms = max(0.0, duration_ms - busy_ms)
+    return idle_ms * config.power_table.idle_w
+
+
+@dataclass
+class ReactiveEngine:
+    """Replays a trace under a reactive (per-event) scheduler."""
+
+    config: EngineConfig
+
+    def run(self, trace: Trace, scheduler: ReactiveScheduler) -> SessionResult:
+        scheduler.reset()
+        outcomes: list[EventOutcome] = []
+        busy_until = 0.0
+        busy_time = 0.0
+        previous_config: AcmpConfig | None = None
+
+        for event in trace:
+            start = max(event.arrival_ms, busy_until)
+            idle_before = max(0.0, event.arrival_ms - busy_until)
+            ctx = EventContext(
+                event=event,
+                start_ms=start,
+                system=self.config.system,
+                power_table=self.config.power_table,
+                idle_before_ms=idle_before,
+            )
+            plan = scheduler.plan(ctx)
+            execution = execute_plan(self.config, plan, event.workload, start, previous_config)
+            display = self.config.pipeline.next_vsync_ms(execution.finish_ms)
+            outcome = EventOutcome(
+                index=event.index,
+                event_type=event.event_type,
+                arrival_ms=event.arrival_ms,
+                start_ms=start,
+                finish_ms=execution.finish_ms,
+                display_ms=display,
+                qos_target_ms=event.qos_target_ms,
+                active_energy_mj=execution.active_energy_mj,
+                config_label=str(plan.final_config),
+                queue_delay_ms=start - event.arrival_ms,
+            )
+            outcomes.append(outcome)
+            scheduler.notify_completion(ctx, outcome.latency_ms)
+            busy_until = execution.finish_ms
+            busy_time += execution.cpu_time_ms
+            previous_config = execution.final_config
+
+        duration = outcomes[-1].display_ms if outcomes else 0.0
+        return SessionResult(
+            app_name=trace.app_name,
+            scheduler_name=scheduler.name,
+            outcomes=outcomes,
+            idle_energy_mj=_session_idle_energy(self.config, duration, busy_time),
+            duration_ms=duration,
+        )
+
+
+@dataclass
+class ProactiveEngine:
+    """Replays a trace under PES (speculative, prediction-driven)."""
+
+    config: EngineConfig
+
+    def run(self, trace: Trace, pes: PesScheduler) -> SessionResult:
+        pes.reset()
+        outcomes: list[EventOutcome] = []
+        busy_until = 0.0
+        busy_time = 0.0
+        wasted_energy = 0.0
+        wasted_time = 0.0
+        previous_config: AcmpConfig | None = None
+        # (prediction, planned assignment) pairs for the current round, in order.
+        pending: list[tuple[PredictedEvent, Assignment]] = []
+        spec_cursor = 0.0  # earliest time the next speculative execution can start
+
+        for event in trace:
+            arrival = event.arrival_ms
+            self._push_ready_frames(pes, pending, arrival)
+            verdict = pes.validate_event(event.event_type)
+
+            if verdict is MatchResult.MATCH and pending:
+                _, assignment = pending.pop(0)
+                chosen = assignment.option.config
+                switch = self.config.switching.switch_latency_ms(previous_config, chosen)
+                duration = switch + event.workload.latency_ms(self.config.system, chosen)
+                spec_start = max(spec_cursor, busy_until)
+                finish = spec_start + duration
+                energy = self.config.power_table.power_w(chosen) * duration
+                display = self.config.pipeline.next_vsync_ms(max(finish, arrival))
+                pes.on_match(arrival)
+                outcomes.append(
+                    EventOutcome(
+                        index=event.index,
+                        event_type=event.event_type,
+                        arrival_ms=arrival,
+                        start_ms=spec_start,
+                        finish_ms=finish,
+                        display_ms=display,
+                        qos_target_ms=event.qos_target_ms,
+                        active_energy_mj=energy,
+                        config_label=str(chosen),
+                        speculative=True,
+                    )
+                )
+                busy_until = finish
+                busy_time += duration
+                previous_config = chosen
+                spec_cursor = finish
+
+            elif verdict is MatchResult.MISPREDICT:
+                # Account the speculative work performed for the (wrong)
+                # predictions, truncated at the moment the actual event
+                # arrives and the control unit squashes.
+                waste_clock = max(spec_cursor, busy_until)
+                waste_config = previous_config
+                for _, assignment in pending:
+                    if waste_clock >= arrival:
+                        break
+                    chosen = assignment.option.config
+                    est_duration = (
+                        self.config.switching.switch_latency_ms(waste_config, chosen)
+                        + assignment.option.latency_ms
+                    )
+                    run_time = min(est_duration, arrival - waste_clock)
+                    wasted_time += run_time
+                    wasted_energy += self.config.power_table.power_w(chosen) * run_time
+                    busy_time += run_time
+                    waste_clock += run_time
+                    waste_config = chosen
+                previous_config = waste_config
+                pending.clear()
+                pes.on_mispredict(arrival)
+
+                start = max(arrival, busy_until)
+                execution, outcome = self._reactive_execute(
+                    pes, event, start, previous_config, mispredicted=True
+                )
+                outcomes.append(outcome)
+                busy_until = execution.finish_ms
+                busy_time += execution.cpu_time_ms
+                previous_config = execution.final_config
+                spec_cursor = execution.finish_ms
+
+            else:  # NO_PREDICTION: prediction disabled or nothing pending yet
+                start = max(arrival, busy_until)
+                execution, outcome = self._reactive_execute(
+                    pes, event, start, previous_config, mispredicted=False
+                )
+                outcomes.append(outcome)
+                busy_until = execution.finish_ms
+                busy_time += execution.cpu_time_ms
+                previous_config = execution.final_config
+                spec_cursor = execution.finish_ms
+
+            pes.observe_event(event)
+            pes.record_execution(event.event_type, event.workload)
+
+            # Start a new prediction round once the previous one has drained.
+            if pes.prediction_enabled and not pes.control.has_pending:
+                round_start = max(busy_until, arrival)
+                schedule = pes.start_round(round_start)
+                predictions = pes.pending_predictions()
+                pending = list(zip(predictions, schedule.assignments))
+                spec_cursor = round_start
+
+        duration = outcomes[-1].display_ms if outcomes else 0.0
+        return SessionResult(
+            app_name=trace.app_name,
+            scheduler_name=pes.name,
+            outcomes=outcomes,
+            idle_energy_mj=_session_idle_energy(self.config, duration, busy_time),
+            wasted_energy_mj=wasted_energy,
+            wasted_time_ms=wasted_time,
+            mispredictions=pes.mispredictions,
+            commits=pes.commits,
+            predictions_made=pes.predictor.predictions_made,
+            prediction_rounds=pes.control.rounds,
+            pfb_size_history=list(pes.control.pfb.size_history),
+            duration_ms=duration,
+        )
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _push_ready_frames(
+        self,
+        pes: PesScheduler,
+        pending: list[tuple[PredictedEvent, Assignment]],
+        now_ms: float,
+    ) -> None:
+        """Move planned speculative frames whose planned completion time has
+        passed into the Pending Frame Buffer (used for the Fig. 9 dynamics)."""
+        pfb = pes.control.pfb
+        already_buffered = len(pfb)
+        next_sequence = pfb.committed + pfb.squashed + already_buffered
+        for offset, (prediction, assignment) in enumerate(pending[already_buffered:]):
+            if assignment.finish_ms > now_ms:
+                break
+            frame = SpeculativeFrame(
+                sequence=next_sequence + offset,
+                event_type=prediction.event_type,
+                node_id=prediction.node_id,
+                config=assignment.option.config,
+                started_ms=assignment.start_ms,
+                ready_ms=assignment.finish_ms,
+                cpu_time_ms=assignment.option.latency_ms,
+                energy_mj=assignment.option.energy_mj,
+            )
+            pfb.push(frame, assignment.finish_ms)
+
+    def _reactive_execute(
+        self,
+        pes: PesScheduler,
+        event: TraceEvent,
+        start_ms: float,
+        previous_config: AcmpConfig | None,
+        *,
+        mispredicted: bool,
+    ) -> tuple[ExecutionResult, EventOutcome]:
+        ctx = EventContext(
+            event=event,
+            start_ms=start_ms,
+            system=self.config.system,
+            power_table=self.config.power_table,
+            idle_before_ms=0.0,
+        )
+        plan = pes.fallback.plan(ctx)
+        execution = execute_plan(self.config, plan, event.workload, start_ms, previous_config)
+        display = self.config.pipeline.next_vsync_ms(execution.finish_ms)
+        outcome = EventOutcome(
+            index=event.index,
+            event_type=event.event_type,
+            arrival_ms=event.arrival_ms,
+            start_ms=start_ms,
+            finish_ms=execution.finish_ms,
+            display_ms=display,
+            qos_target_ms=event.qos_target_ms,
+            active_energy_mj=execution.active_energy_mj,
+            config_label=str(plan.final_config),
+            speculative=False,
+            mispredicted=mispredicted,
+            queue_delay_ms=start_ms - event.arrival_ms,
+        )
+        return execution, outcome
+
+
+@dataclass
+class OracleEngine:
+    """Replays a trace with a priori knowledge of the whole event sequence."""
+
+    config: EngineConfig
+    safety_margin_ms: float = 8.0
+    dp_bucket_ms: float = 1.0
+
+    def run(self, trace: Trace, oracle: OracleScheduler | None = None) -> SessionResult:
+        oracle = oracle or OracleScheduler()
+        solver = DynamicProgrammingSolver(bucket_ms=self.dp_bucket_ms)
+
+        events = list(trace)
+        outcomes: list[EventOutcome] = []
+        busy_time = 0.0
+        previous_config: AcmpConfig | None = None
+        clock = 0.0
+        index = 0
+        chunk_size = oracle.lookahead_events or len(events) or 1
+
+        while index < len(events):
+            chunk = events[index : index + chunk_size]
+            specs = [
+                EventSpec(
+                    label=f"event-{e.index}",
+                    release_ms=clock,
+                    deadline_ms=max(e.deadline_ms - self.safety_margin_ms, clock),
+                    options=tuple(
+                        enumerate_options(
+                            self.config.system, self.config.power_table, e.workload, pareto_only=True
+                        )
+                    ),
+                    speculative=True,
+                )
+                for e in chunk
+            ]
+            schedule = solver.solve(specs, clock)
+            for event, assignment in zip(chunk, schedule.assignments):
+                chosen = assignment.option.config
+                switch = self.config.switching.switch_latency_ms(previous_config, chosen)
+                start = max(clock, assignment.start_ms)
+                finish = start + switch + event.workload.latency_ms(self.config.system, chosen)
+                energy = self.config.power_table.power_w(chosen) * (finish - start)
+                display = self.config.pipeline.next_vsync_ms(max(finish, event.arrival_ms))
+                outcomes.append(
+                    EventOutcome(
+                        index=event.index,
+                        event_type=event.event_type,
+                        arrival_ms=event.arrival_ms,
+                        start_ms=start,
+                        finish_ms=finish,
+                        display_ms=display,
+                        qos_target_ms=event.qos_target_ms,
+                        active_energy_mj=energy,
+                        config_label=str(chosen),
+                        speculative=True,
+                    )
+                )
+                busy_time += finish - start
+                previous_config = chosen
+                clock = finish
+            index += len(chunk)
+
+        duration = max((o.display_ms for o in outcomes), default=0.0)
+        return SessionResult(
+            app_name=trace.app_name,
+            scheduler_name=oracle.name,
+            outcomes=outcomes,
+            idle_energy_mj=_session_idle_energy(self.config, duration, busy_time),
+            duration_ms=duration,
+        )

@@ -1,0 +1,192 @@
+"""Per-event outcomes, per-session results, and aggregation helpers.
+
+The paper reports two headline metrics per application: the QoS violation
+rate (fraction of events whose latency exceeded the QoS target) and the
+energy consumption (usually normalised to the Interactive governor).  The
+classes here carry enough detail to also regenerate the secondary analyses:
+mis-prediction waste (Fig. 10), PFB dynamics (Fig. 9), and the event-type
+breakdown (Fig. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.webapp.events import EventType
+
+
+@dataclass(frozen=True)
+class EventOutcome:
+    """What happened to one event under one scheduler."""
+
+    index: int
+    event_type: EventType
+    arrival_ms: float
+    start_ms: float
+    finish_ms: float
+    display_ms: float
+    qos_target_ms: float
+    active_energy_mj: float
+    config_label: str
+    speculative: bool = False
+    mispredicted: bool = False
+    queue_delay_ms: float = 0.0
+
+    @property
+    def latency_ms(self) -> float:
+        return self.display_ms - self.arrival_ms
+
+    @property
+    def violated(self) -> bool:
+        return self.latency_ms > self.qos_target_ms + 1e-6
+
+    @property
+    def slack_ms(self) -> float:
+        return self.qos_target_ms - self.latency_ms
+
+
+@dataclass
+class SessionResult:
+    """Result of replaying one trace under one scheduler."""
+
+    app_name: str
+    scheduler_name: str
+    outcomes: list[EventOutcome] = field(default_factory=list)
+    idle_energy_mj: float = 0.0
+    wasted_energy_mj: float = 0.0
+    wasted_time_ms: float = 0.0
+    mispredictions: int = 0
+    commits: int = 0
+    predictions_made: int = 0
+    prediction_rounds: int = 0
+    pfb_size_history: list[tuple[float, int]] = field(default_factory=list)
+    duration_ms: float = 0.0
+
+    # -- energy ------------------------------------------------------------------
+
+    @property
+    def active_energy_mj(self) -> float:
+        return sum(o.active_energy_mj for o in self.outcomes)
+
+    @property
+    def total_energy_mj(self) -> float:
+        """Everything the processor consumed: useful work, wasted work, idle."""
+        return self.active_energy_mj + self.wasted_energy_mj + self.idle_energy_mj
+
+    # -- QoS ----------------------------------------------------------------------
+
+    @property
+    def n_events(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def violations(self) -> int:
+        return sum(1 for o in self.outcomes if o.violated)
+
+    @property
+    def qos_violation_rate(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return self.violations / len(self.outcomes)
+
+    @property
+    def mean_latency_ms(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(o.latency_ms for o in self.outcomes) / len(self.outcomes)
+
+    # -- speculation --------------------------------------------------------------
+
+    @property
+    def prediction_accuracy(self) -> float:
+        """Fraction of validated predictions that matched the actual event."""
+        validated = self.commits + self.mispredictions
+        if validated == 0:
+            return 0.0
+        return self.commits / validated
+
+    @property
+    def misprediction_waste_ms(self) -> float:
+        """Average wasted frame-generation time per mis-prediction (Fig. 10)."""
+        if self.mispredictions == 0:
+            return 0.0
+        return self.wasted_time_ms / self.mispredictions
+
+    @property
+    def mean_prediction_degree(self) -> float:
+        """Average number of events predicted per prediction round."""
+        if self.prediction_rounds == 0:
+            return 0.0
+        return self.predictions_made / self.prediction_rounds
+
+
+@dataclass(frozen=True)
+class AggregateMetrics:
+    """Metrics aggregated over several sessions (e.g. all traces of one app)."""
+
+    scheduler_name: str
+    n_sessions: int
+    n_events: int
+    total_energy_mj: float
+    qos_violation_rate: float
+    mean_latency_ms: float
+    wasted_energy_mj: float
+    wasted_time_ms: float
+    mispredictions: int
+    commits: int
+
+    @property
+    def energy_per_event_mj(self) -> float:
+        if self.n_events == 0:
+            return 0.0
+        return self.total_energy_mj / self.n_events
+
+    @property
+    def prediction_accuracy(self) -> float:
+        validated = self.commits + self.mispredictions
+        if validated == 0:
+            return 0.0
+        return self.commits / validated
+
+
+def aggregate_results(results: Iterable[SessionResult]) -> AggregateMetrics:
+    """Aggregate sessions replayed under the same scheduler."""
+    results = list(results)
+    if not results:
+        raise ValueError("cannot aggregate an empty result list")
+    names = {r.scheduler_name for r in results}
+    if len(names) != 1:
+        raise ValueError(f"cannot aggregate results from different schedulers: {sorted(names)}")
+    total_events = sum(r.n_events for r in results)
+    total_violations = sum(r.violations for r in results)
+    total_latency = sum(o.latency_ms for r in results for o in r.outcomes)
+    return AggregateMetrics(
+        scheduler_name=results[0].scheduler_name,
+        n_sessions=len(results),
+        n_events=total_events,
+        total_energy_mj=sum(r.total_energy_mj for r in results),
+        qos_violation_rate=(total_violations / total_events) if total_events else 0.0,
+        mean_latency_ms=(total_latency / total_events) if total_events else 0.0,
+        wasted_energy_mj=sum(r.wasted_energy_mj for r in results),
+        wasted_time_ms=sum(r.wasted_time_ms for r in results),
+        mispredictions=sum(r.mispredictions for r in results),
+        commits=sum(r.commits for r in results),
+    )
+
+
+def normalised_energy(
+    metrics: AggregateMetrics, baseline: AggregateMetrics
+) -> float:
+    """Energy of ``metrics`` relative to ``baseline`` (Fig. 11 style)."""
+    if baseline.total_energy_mj <= 0:
+        raise ValueError("baseline energy must be positive")
+    return metrics.total_energy_mj / baseline.total_energy_mj
+
+
+def group_by_app(results: Sequence[SessionResult]) -> dict[str, list[SessionResult]]:
+    """Group session results by application name, preserving insertion order."""
+    grouped: dict[str, list[SessionResult]] = {}
+    for result in results:
+        grouped.setdefault(result.app_name, []).append(result)
+    return grouped

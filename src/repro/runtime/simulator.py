@@ -1,0 +1,178 @@
+"""Experiment driver: replay traces under every scheduling scheme.
+
+:class:`Simulator` owns the hardware model (platform, power table,
+rendering pipeline) and knows how to run a trace under each scheme —
+reactive baselines, PES, and the oracle — and how to aggregate results per
+application, which is what the evaluation figures consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.pes import PesConfig, PesScheduler
+from repro.core.predictor.sequence_learner import EventSequenceLearner
+from repro.hardware.acmp import AcmpSystem
+from repro.hardware.energy import SwitchingCosts
+from repro.hardware.platforms import exynos_5410
+from repro.hardware.power import PowerModel, PowerTable
+from repro.runtime.engine import EngineConfig, OracleEngine, ProactiveEngine, ReactiveEngine
+from repro.runtime.metrics import AggregateMetrics, SessionResult, aggregate_results, group_by_app
+from repro.schedulers.base import ReactiveScheduler
+from repro.schedulers.ebs import EbsScheduler
+from repro.schedulers.interactive import InteractiveGovernor
+from repro.schedulers.ondemand import OndemandGovernor
+from repro.schedulers.oracle import OracleScheduler
+from repro.traces.trace import Trace, TraceSet
+from repro.webapp.apps import AppCatalog
+from repro.webapp.rendering import RenderingPipeline
+
+
+@dataclass
+class SimulationSetup:
+    """Hardware platform plus derived models used by every simulation."""
+
+    system: AcmpSystem = field(default_factory=exynos_5410)
+    power_model: PowerModel = field(default_factory=PowerModel)
+    pipeline: RenderingPipeline = field(default_factory=RenderingPipeline)
+    switching: SwitchingCosts = field(default_factory=SwitchingCosts)
+    power_table: PowerTable = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.power_table = self.power_model.build_table(self.system)
+
+    def engine_config(self) -> EngineConfig:
+        return EngineConfig(
+            system=self.system,
+            power_table=self.power_table,
+            pipeline=self.pipeline,
+            switching=self.switching,
+        )
+
+
+@dataclass
+class Simulator:
+    """Runs traces under the scheduling schemes of the evaluation."""
+
+    setup: SimulationSetup = field(default_factory=SimulationSetup)
+    catalog: AppCatalog = field(default_factory=AppCatalog)
+
+    def __post_init__(self) -> None:
+        config = self.setup.engine_config()
+        self._reactive = ReactiveEngine(config)
+        self._proactive = ProactiveEngine(config)
+        self._oracle = OracleEngine(config)
+
+    # -- single-trace runs ---------------------------------------------------------
+
+    def run_reactive(self, trace: Trace, scheduler: ReactiveScheduler) -> SessionResult:
+        return self._reactive.run(trace, scheduler)
+
+    def run_pes(
+        self,
+        trace: Trace,
+        learner: EventSequenceLearner,
+        pes_config: PesConfig | None = None,
+    ) -> SessionResult:
+        profile = self.catalog.get(trace.app_name)
+        pes = PesScheduler.create(
+            learner=learner,
+            profile=profile,
+            system=self.setup.system,
+            power_table=self.setup.power_table,
+            config=pes_config,
+        )
+        return self._proactive.run(trace, pes)
+
+    def run_oracle(self, trace: Trace, oracle: OracleScheduler | None = None) -> SessionResult:
+        return self._oracle.run(trace, oracle)
+
+    # -- scheme sweeps --------------------------------------------------------------
+
+    def default_baselines(self) -> list[ReactiveScheduler]:
+        return [InteractiveGovernor(), EbsScheduler()]
+
+    def run_scheme(
+        self,
+        traces: TraceSet | Sequence[Trace],
+        scheme: str,
+        *,
+        learner: EventSequenceLearner | None = None,
+        pes_config: PesConfig | None = None,
+    ) -> list[SessionResult]:
+        """Run every trace under one named scheme.
+
+        ``scheme`` is one of ``"Interactive"``, ``"Ondemand"``, ``"EBS"``,
+        ``"PES"`` (requires ``learner``), or ``"Oracle"``.
+        """
+        results: list[SessionResult] = []
+        for trace in traces:
+            if scheme == "Interactive":
+                results.append(self.run_reactive(trace, InteractiveGovernor()))
+            elif scheme == "Ondemand":
+                results.append(self.run_reactive(trace, OndemandGovernor()))
+            elif scheme == "EBS":
+                results.append(self.run_reactive(trace, EbsScheduler()))
+            elif scheme == "PES":
+                if learner is None:
+                    raise ValueError("running PES requires a trained learner")
+                results.append(self.run_pes(trace, learner, pes_config))
+            elif scheme == "Oracle":
+                results.append(self.run_oracle(trace))
+            else:
+                raise ValueError(f"unknown scheme {scheme!r}")
+        return results
+
+    def compare(
+        self,
+        traces: TraceSet | Sequence[Trace],
+        schemes: Sequence[str],
+        *,
+        learner: EventSequenceLearner | None = None,
+        pes_config: PesConfig | None = None,
+    ) -> dict[str, list[SessionResult]]:
+        """Replay the same traces under several schemes."""
+        return {
+            scheme: self.run_scheme(traces, scheme, learner=learner, pes_config=pes_config)
+            for scheme in schemes
+        }
+
+    # -- aggregation ------------------------------------------------------------------
+
+    @staticmethod
+    def aggregate_per_app(
+        results: Sequence[SessionResult],
+    ) -> dict[str, AggregateMetrics]:
+        """Aggregate a scheme's results per application."""
+        return {
+            app: aggregate_results(app_results)
+            for app, app_results in group_by_app(results).items()
+        }
+
+    @staticmethod
+    def aggregate_overall(results: Sequence[SessionResult]) -> AggregateMetrics:
+        return aggregate_results(results)
+
+    @staticmethod
+    def normalised_energy_by_app(
+        scheme_results: Mapping[str, Sequence[SessionResult]],
+        baseline: str = "Interactive",
+    ) -> dict[str, dict[str, float]]:
+        """Per-app energy of every scheme normalised to ``baseline`` (Fig. 11)."""
+        if baseline not in scheme_results:
+            raise KeyError(f"baseline scheme {baseline!r} missing from results")
+        per_scheme_per_app = {
+            scheme: Simulator.aggregate_per_app(list(results))
+            for scheme, results in scheme_results.items()
+        }
+        baseline_per_app = per_scheme_per_app[baseline]
+        normalised: dict[str, dict[str, float]] = {}
+        for scheme, per_app in per_scheme_per_app.items():
+            normalised[scheme] = {}
+            for app, metrics in per_app.items():
+                base = baseline_per_app.get(app)
+                if base is None or base.total_energy_mj <= 0:
+                    continue
+                normalised[scheme][app] = metrics.total_energy_mj / base.total_energy_mj
+        return normalised

@@ -1,0 +1,144 @@
+"""Scheduler interfaces shared by the baselines and the runtime engine.
+
+A reactive scheduler is consulted once per event, when the event is about
+to start executing, and answers with an :class:`ExecutionPlan`: an ordered
+list of :class:`ConfigPhase` entries.  QoS-aware schedulers (EBS, PES)
+return a single phase; utilisation-driven governors (Interactive, Ondemand)
+return a ramp — an initial phase at the frequency their sampling logic has
+settled on, followed by the frequency they converge to once the event's
+work drives utilisation up.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.hardware.acmp import AcmpConfig, AcmpSystem
+from repro.hardware.dvfs import DvfsModel
+from repro.hardware.power import PowerTable
+from repro.traces.trace import TraceEvent
+
+
+@dataclass(frozen=True)
+class ConfigPhase:
+    """Run at ``config`` for at most ``duration_ms`` (None = until done)."""
+
+    config: AcmpConfig
+    duration_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.duration_ms is not None and self.duration_ms <= 0:
+            raise ValueError("phase duration must be positive (or None for unbounded)")
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """Ordered configuration phases for executing one event."""
+
+    phases: tuple[ConfigPhase, ...]
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("an execution plan needs at least one phase")
+        if self.phases[-1].duration_ms is not None:
+            raise ValueError("the final phase must be unbounded (duration None)")
+
+    @classmethod
+    def single(cls, config: AcmpConfig) -> "ExecutionPlan":
+        return cls(phases=(ConfigPhase(config),))
+
+    @classmethod
+    def ramp(cls, initial: AcmpConfig, initial_duration_ms: float, final: AcmpConfig) -> "ExecutionPlan":
+        if initial == final:
+            return cls.single(final)
+        return cls(phases=(ConfigPhase(initial, initial_duration_ms), ConfigPhase(final)))
+
+    @property
+    def final_config(self) -> AcmpConfig:
+        return self.phases[-1].config
+
+
+@dataclass(frozen=True)
+class EventContext:
+    """Everything a reactive scheduler may consult when planning one event."""
+
+    event: TraceEvent
+    start_ms: float
+    system: AcmpSystem
+    power_table: PowerTable
+    idle_before_ms: float = 0.0
+    queue_length: int = 0
+
+    @property
+    def queue_delay_ms(self) -> float:
+        return max(0.0, self.start_ms - self.event.arrival_ms)
+
+    @property
+    def remaining_budget_ms(self) -> float:
+        """Time left until the event's deadline when execution starts."""
+        return self.event.deadline_ms - self.start_ms
+
+
+class ReactiveScheduler(abc.ABC):
+    """Base class for schedulers that plan one outstanding event at a time."""
+
+    #: Human-readable scheme name used in reports and figures.
+    name: str = "reactive"
+
+    @abc.abstractmethod
+    def plan(self, ctx: EventContext) -> ExecutionPlan:
+        """Return the execution plan for the event described by ``ctx``."""
+
+    def notify_completion(self, ctx: EventContext, latency_ms: float) -> None:
+        """Hook invoked after the event finished (governors track utilisation)."""
+
+    def reset(self) -> None:
+        """Clear any per-session state before replaying a new trace."""
+
+
+@dataclass(frozen=True)
+class ConfigOption:
+    """One point of an event's latency/energy trade-off space."""
+
+    config: AcmpConfig
+    latency_ms: float
+    power_w: float
+
+    @property
+    def energy_mj(self) -> float:
+        return self.power_w * self.latency_ms
+
+
+def enumerate_options(
+    system: AcmpSystem,
+    power_table: PowerTable,
+    workload: DvfsModel,
+    *,
+    pareto_only: bool = False,
+) -> list[ConfigOption]:
+    """Enumerate the latency/energy of every configuration for a workload.
+
+    With ``pareto_only`` the list is pruned to configurations that are not
+    dominated (no other option is both faster and cheaper), which is the
+    candidate set the optimizer branches over.  Options are returned sorted
+    by ascending latency.
+    """
+    options = [
+        ConfigOption(
+            config=config,
+            latency_ms=workload.latency_ms(system, config),
+            power_w=power_table.power_w(config),
+        )
+        for config in system.configurations()
+    ]
+    options.sort(key=lambda o: (o.latency_ms, o.energy_mj))
+    if not pareto_only:
+        return options
+    pruned: list[ConfigOption] = []
+    best_energy = float("inf")
+    for option in options:
+        if option.energy_mj < best_energy - 1e-12:
+            pruned.append(option)
+            best_energy = option.energy_mj
+    return pruned

@@ -1,0 +1,59 @@
+"""Android ``ondemand`` CPU governor model.
+
+Ondemand favours energy savings over interactivity: it samples less often
+than Interactive and scales frequency proportionally to utilisation rather
+than jumping straight to the maximum, so bursty interactive work spends a
+long first sampling window at a low operating point.  The paper includes it
+in the Pareto analysis (Fig. 13) as the energy-leaning/QoS-poor extreme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.acmp import AcmpConfig
+from repro.schedulers.base import EventContext, ExecutionPlan, ReactiveScheduler
+
+
+@dataclass
+class OndemandGovernor(ReactiveScheduler):
+    """Slow-ramping, utilisation-proportional governor."""
+
+    sample_period_ms: float = 100.0
+    up_threshold: float = 0.95
+    util_window_ms: float = 200.0
+    #: Fraction of the maximum frequency the governor converges to for
+    #: sustained work (ondemand's powersave bias keeps it off the top bin).
+    sustained_freq_fraction: float = 0.85
+    name: str = field(default="Ondemand", init=False)
+
+    def __post_init__(self) -> None:
+        if self.sample_period_ms <= 0 or self.util_window_ms <= 0:
+            raise ValueError("periods must be positive")
+        if not 0 < self.up_threshold <= 1:
+            raise ValueError("up_threshold must be in (0, 1]")
+        if not 0 < self.sustained_freq_fraction <= 1:
+            raise ValueError("sustained_freq_fraction must be in (0, 1]")
+
+    def plan(self, ctx: EventContext) -> ExecutionPlan:
+        big = ctx.system.big_cluster
+        little = ctx.system.little_cluster
+
+        idle = min(ctx.idle_before_ms, self.util_window_ms)
+        utilisation = max(0.0, 1.0 - idle / self.util_window_ms)
+
+        if utilisation >= self.up_threshold:
+            initial = AcmpConfig(big.name, big.max_frequency_mhz)
+        elif utilisation < 0.3:
+            # Mostly idle: ondemand parks interactive work on the little
+            # cluster until a sampling period shows sustained load.
+            initial = AcmpConfig(little.name, little.max_frequency_mhz)
+        else:
+            target = big.max_frequency_mhz * utilisation
+            initial = AcmpConfig(big.name, big.ceil_frequency(max(target, big.min_frequency_mhz)))
+
+        sustained_freq = big.ceil_frequency(big.max_frequency_mhz * self.sustained_freq_fraction)
+        final = AcmpConfig(big.name, sustained_freq)
+        if initial == final:
+            return ExecutionPlan.single(final)
+        return ExecutionPlan.ramp(initial, self.sample_period_ms, final)

@@ -1,0 +1,38 @@
+"""Oracle scheduler: a priori knowledge of the entire event sequence.
+
+The oracle knows every future event — its type, its arrival time, and its
+workload — and can therefore coordinate executions across the whole trace:
+it is the proactive scheduler with a perfect predictor of infinite
+prediction degree.  The paper uses it as the upper bound: it removes all
+QoS violations and maximises energy savings.
+
+In this reproduction the oracle is executed by the same proactive engine as
+PES (see :mod:`repro.runtime.engine`), wired to a perfect predictor instead
+of the learned one.  :class:`OracleScheduler` carries the knobs that
+configure that wiring; it is not a :class:`~repro.schedulers.base.ReactiveScheduler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OracleScheduler:
+    """Configuration marker for the oracle scheduling mode.
+
+    Parameters
+    ----------
+    lookahead_events:
+        How many future events the oracle plans over at a time.  ``None``
+        means the entire remaining trace (the paper's infinite prediction
+        degree); a finite value is useful for ablations that isolate the
+        benefit of prediction accuracy from the benefit of window size.
+    """
+
+    lookahead_events: int | None = None
+    name: str = field(default="Oracle", init=False)
+
+    def __post_init__(self) -> None:
+        if self.lookahead_events is not None and self.lookahead_events <= 0:
+            raise ValueError("lookahead_events must be positive or None")

@@ -1,0 +1,30 @@
+"""User interaction traces: data model, workloads, generation, serialisation.
+
+The paper records 100+ real user interaction traces with Mosaic and replays
+them under each scheduler.  Offline we cannot record real users, so
+:mod:`repro.traces.generator` synthesises sessions from per-application
+behaviour models that preserve the published statistics (≈110 s sessions,
+≈25 events, up to 70, think time between interactions) and the temporal
+correlation that makes event sequences predictable.
+"""
+
+from repro.traces.trace import TraceEvent, Trace, TraceSet
+from repro.traces.workload import WorkloadModel, WorkloadParams, INTERACTION_WORKLOADS
+from repro.traces.generator import TraceGenerator, UserBehaviorModel, SessionConfig
+from repro.traces.io import trace_to_dict, trace_from_dict, save_traces, load_traces
+
+__all__ = [
+    "TraceEvent",
+    "Trace",
+    "TraceSet",
+    "WorkloadModel",
+    "WorkloadParams",
+    "INTERACTION_WORKLOADS",
+    "TraceGenerator",
+    "UserBehaviorModel",
+    "SessionConfig",
+    "trace_to_dict",
+    "trace_from_dict",
+    "save_traces",
+    "load_traces",
+]

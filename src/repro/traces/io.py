@@ -1,0 +1,85 @@
+"""Trace serialisation: JSON round-tripping for recorded/generated sessions.
+
+The paper persists recorded interaction traces and replays them under each
+scheduler; this module provides the equivalent on-disk format so generated
+trace sets can be saved once and replayed by every experiment.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.hardware.dvfs import DvfsModel
+from repro.traces.trace import Trace, TraceEvent, TraceSet
+from repro.webapp.events import EventType
+
+FORMAT_VERSION = 1
+
+
+def trace_to_dict(trace: Trace) -> dict[str, Any]:
+    """Convert a trace to a JSON-serialisable dictionary."""
+    return {
+        "app_name": trace.app_name,
+        "user_id": trace.user_id,
+        "seed": trace.seed,
+        "events": [
+            {
+                "index": e.index,
+                "event_type": e.event_type.value,
+                "node_id": e.node_id,
+                "arrival_ms": e.arrival_ms,
+                "tmem_ms": e.workload.tmem_ms,
+                "ndep_mcycles": e.workload.ndep_mcycles,
+                "navigates": e.navigates,
+            }
+            for e in trace.events
+        ],
+    }
+
+
+def trace_from_dict(payload: dict[str, Any]) -> Trace:
+    """Rebuild a trace from its dictionary form."""
+    events = [
+        TraceEvent(
+            index=int(item["index"]),
+            event_type=EventType(item["event_type"]),
+            node_id=str(item["node_id"]),
+            arrival_ms=float(item["arrival_ms"]),
+            workload=DvfsModel(
+                tmem_ms=float(item["tmem_ms"]),
+                ndep_mcycles=float(item["ndep_mcycles"]),
+            ),
+            navigates=bool(item["navigates"]),
+        )
+        for item in payload["events"]
+    ]
+    seed = payload.get("seed")
+    return Trace(
+        app_name=str(payload["app_name"]),
+        user_id=str(payload["user_id"]),
+        events=events,
+        seed=int(seed) if seed is not None else None,
+    )
+
+
+def save_traces(traces: TraceSet, path: str | Path) -> None:
+    """Write a trace set to a JSON file."""
+    payload = {
+        "version": FORMAT_VERSION,
+        "traces": [trace_to_dict(t) for t in traces],
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_traces(path: str | Path) -> TraceSet:
+    """Read a trace set from a JSON file written by :func:`save_traces`."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace file version {version!r}")
+    traces = TraceSet()
+    for item in payload["traces"]:
+        traces.add(trace_from_dict(item))
+    return traces

@@ -1,0 +1,18 @@
+"""Small shared utilities."""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def stable_seed(*parts: object) -> int:
+    """Deterministic 32-bit seed derived from the given parts.
+
+    ``hash()`` is randomised per interpreter process for strings, so it must
+    not be used to seed anything that needs to be reproducible across runs
+    (trace generation, DOM layouts, benchmarks).  This helper hashes the
+    ``repr`` of each part with MD5 and folds the digest to 32 bits.
+    """
+    digest = hashlib.md5("|".join(repr(part) for part in parts).encode("utf-8")).digest()
+    seed = int.from_bytes(digest[:4], "little")
+    return seed or 1

@@ -1,0 +1,45 @@
+"""Web application substrate: DOM trees, event taxonomy, rendering pipeline.
+
+This package stands in for the Chromium rendering engine and the real
+webpages of the paper's benchmark suite.  It provides:
+
+* the DOM event taxonomy with per-interaction QoS targets,
+* synthetic DOM trees with event listeners and viewport visibility,
+* the Semantic Tree (Accessibility-Tree based) memoisation of callback
+  effects used by the predictor's DOM analysis,
+* a rendering-pipeline latency model (style → layout → paint → composite,
+  VSync-quantised frame submission),
+* a catalog of the 18 benchmark applications with per-app characteristics.
+"""
+
+from repro.webapp.events import (
+    EventType,
+    Interaction,
+    QOS_TARGETS_MS,
+    qos_target_ms,
+    interaction_of,
+)
+from repro.webapp.dom import DomNode, DomTree, Viewport
+from repro.webapp.semantic_tree import SemanticTree, CallbackEffect
+from repro.webapp.rendering import RenderingPipeline, VSYNC_PERIOD_MS, FrameResult
+from repro.webapp.apps import AppProfile, AppCatalog, SEEN_APPS, UNSEEN_APPS
+
+__all__ = [
+    "EventType",
+    "Interaction",
+    "QOS_TARGETS_MS",
+    "qos_target_ms",
+    "interaction_of",
+    "DomNode",
+    "DomTree",
+    "Viewport",
+    "SemanticTree",
+    "CallbackEffect",
+    "RenderingPipeline",
+    "VSYNC_PERIOD_MS",
+    "FrameResult",
+    "AppProfile",
+    "AppCatalog",
+    "SEEN_APPS",
+    "UNSEEN_APPS",
+]

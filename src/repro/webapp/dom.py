@@ -1,0 +1,196 @@
+"""DOM tree model with event listeners and viewport visibility.
+
+The predictor's program analysis (Sec. 5.2) walks the part of the DOM tree
+that is inside the current viewport and collects the events registered on
+visible nodes — the Likely-Next-Event-Set (LNES).  The model here captures
+exactly what that analysis needs: a tree of nodes, each with a bounding box,
+a set of registered event listeners, and a visibility style.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.webapp.events import EventType
+
+
+@dataclass(frozen=True)
+class Viewport:
+    """The visible region of the page in CSS pixels."""
+
+    width: float = 360.0
+    height: float = 640.0
+    scroll_y: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("viewport dimensions must be positive")
+        if self.scroll_y < 0:
+            raise ValueError("scroll offset must be non-negative")
+
+    def scrolled(self, delta_y: float) -> "Viewport":
+        return Viewport(self.width, self.height, max(0.0, self.scroll_y + delta_y))
+
+    @property
+    def top(self) -> float:
+        return self.scroll_y
+
+    @property
+    def bottom(self) -> float:
+        return self.scroll_y + self.height
+
+    def intersects(self, y: float, height: float) -> bool:
+        """Whether a box spanning [y, y+height) in page coordinates is visible."""
+        return y < self.bottom and (y + height) > self.top
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+
+@dataclass
+class DomNode:
+    """One element of the DOM tree.
+
+    Geometry is simplified to a vertical extent (``y``/``height``) plus a
+    width, which is all the viewport-intersection analysis needs, and an
+    ``area`` for the clickable-region feature.
+    """
+
+    tag: str
+    node_id: str
+    y: float = 0.0
+    height: float = 20.0
+    width: float = 360.0
+    display: str = "block"
+    listeners: set[EventType] = field(default_factory=set)
+    is_link: bool = False
+    children: list["DomNode"] = field(default_factory=list)
+    parent: "DomNode | None" = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.height < 0 or self.width < 0:
+            raise ValueError("node dimensions must be non-negative")
+
+    # -- tree construction -------------------------------------------------
+
+    def append_child(self, child: "DomNode") -> "DomNode":
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def is_displayed(self) -> bool:
+        """Whether this node (and all ancestors) have a non-``none`` display."""
+        node: DomNode | None = self
+        while node is not None:
+            if node.display == "none":
+                return False
+            node = node.parent
+        return True
+
+    def is_visible(self, viewport: Viewport) -> bool:
+        return self.is_displayed and viewport.intersects(self.y, self.height)
+
+    @property
+    def is_clickable(self) -> bool:
+        return bool(self.listeners & {EventType.CLICK, EventType.TOUCHSTART, EventType.SUBMIT})
+
+    def walk(self) -> Iterator["DomNode"]:
+        """Pre-order traversal of the subtree rooted at this node."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def toggle_display(self) -> None:
+        """Flip between ``block`` and ``none`` (the Fig. 7 collapsible menu)."""
+        self.display = "none" if self.display == "block" else "block"
+
+
+class DomTree:
+    """A DOM tree plus the page viewport.
+
+    Provides the aggregate queries the predictor features (Table 1) and the
+    DOM analysis need: visible-node iteration, clickable-region percentage,
+    visible-link percentage, and the set of events registered on visible
+    nodes.
+    """
+
+    _id_counter = itertools.count()
+
+    def __init__(self, root: DomNode, viewport: Viewport | None = None, page_height: float | None = None):
+        self.root = root
+        self.viewport = viewport or Viewport()
+        self._page_height = page_height
+
+    # -- factory helpers ---------------------------------------------------
+
+    @classmethod
+    def new_node(cls, tag: str, **kwargs) -> DomNode:
+        """Create a node with an auto-assigned unique id."""
+        node_id = kwargs.pop("node_id", f"{tag}-{next(cls._id_counter)}")
+        return DomNode(tag=tag, node_id=node_id, **kwargs)
+
+    # -- traversal ---------------------------------------------------------
+
+    def walk(self) -> Iterator[DomNode]:
+        return self.root.walk()
+
+    def visible_nodes(self) -> Iterator[DomNode]:
+        for node in self.walk():
+            if node.is_visible(self.viewport):
+                yield node
+
+    def find(self, node_id: str) -> DomNode:
+        for node in self.walk():
+            if node.node_id == node_id:
+                return node
+        raise KeyError(f"no DOM node with id {node_id!r}")
+
+    def find_all(self, predicate: Callable[[DomNode], bool]) -> list[DomNode]:
+        return [node for node in self.walk() if predicate(node)]
+
+    # -- aggregate features (Table 1, application-inherent) -----------------
+
+    def clickable_region_fraction(self) -> float:
+        """Fraction of the viewport area covered by visible clickable nodes."""
+        clickable_area = sum(n.area for n in self.visible_nodes() if n.is_clickable)
+        return min(1.0, clickable_area / self.viewport.area)
+
+    def visible_link_fraction(self) -> float:
+        """Fraction of visible nodes that are hyperlinks."""
+        visible = list(self.visible_nodes())
+        if not visible:
+            return 0.0
+        return sum(1 for n in visible if n.is_link) / len(visible)
+
+    def visible_event_types(self) -> set[EventType]:
+        """Events registered on nodes inside the viewport (LNES ingredient)."""
+        events: set[EventType] = set()
+        for node in self.visible_nodes():
+            events |= node.listeners
+        return events
+
+    # -- mutation ----------------------------------------------------------
+
+    def scroll(self, delta_y: float) -> None:
+        """Scroll the viewport, clamped to the page height when known."""
+        viewport = self.viewport.scrolled(delta_y)
+        if self._page_height is not None:
+            max_scroll = max(0.0, self._page_height - viewport.height)
+            viewport = Viewport(viewport.width, viewport.height, min(viewport.scroll_y, max_scroll))
+        self.viewport = viewport
+
+    @property
+    def page_height(self) -> float:
+        if self._page_height is not None:
+            return self._page_height
+        return max((n.y + n.height for n in self.walk()), default=self.viewport.height)

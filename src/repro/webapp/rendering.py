@@ -1,0 +1,91 @@
+"""Rendering-pipeline latency model and VSync frame submission.
+
+An event's latency (Fig. 1) is the time from the input being triggered to
+the corresponding frame appearing on the display: callback execution, then
+the rendering stages (style resolution, layout, paint, composite), then an
+idle wait until the next display refresh (VSync at 60 Hz).
+
+The CPU-visible work (callback + rendering stages) is what the DVFS model
+scales with frequency; the VSync quantisation adds a frequency-independent
+idle tail.  :class:`RenderingPipeline` splits a unit of event work into the
+per-stage shares and computes frame-completion/display times.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+#: Display refresh period for a 60 Hz mobile panel, in milliseconds.
+VSYNC_PERIOD_MS: float = 1000.0 / 60.0
+
+#: Default division of an event's CPU work across pipeline stages.  The
+#: callback (JavaScript) dominates, consistent with the paper's observation
+#: that the Web runtime's dynamic translation layer is compute heavy.
+DEFAULT_STAGE_SHARES: Mapping[str, float] = {
+    "callback": 0.55,
+    "style": 0.12,
+    "layout": 0.15,
+    "paint": 0.10,
+    "composite": 0.08,
+}
+
+
+@dataclass(frozen=True)
+class FrameResult:
+    """Timing of a produced frame.
+
+    ``ready_ms`` is when the frame finished compositing; ``display_ms`` is
+    when it is actually shown (the next VSync at or after ``ready_ms``).
+    """
+
+    start_ms: float
+    ready_ms: float
+    display_ms: float
+
+    @property
+    def idle_wait_ms(self) -> float:
+        return self.display_ms - self.ready_ms
+
+    @property
+    def total_latency_ms(self) -> float:
+        return self.display_ms - self.start_ms
+
+
+@dataclass(frozen=True)
+class RenderingPipeline:
+    """Splits event work into pipeline stages and quantises to VSync."""
+
+    stage_shares: Mapping[str, float] = None  # type: ignore[assignment]
+    vsync_period_ms: float = VSYNC_PERIOD_MS
+
+    def __post_init__(self) -> None:
+        shares = self.stage_shares if self.stage_shares is not None else DEFAULT_STAGE_SHARES
+        object.__setattr__(self, "stage_shares", dict(shares))
+        total = sum(self.stage_shares.values())
+        if not math.isclose(total, 1.0, rel_tol=1e-6):
+            raise ValueError(f"stage shares must sum to 1.0, got {total}")
+        if any(v < 0 for v in self.stage_shares.values()):
+            raise ValueError("stage shares must be non-negative")
+        if self.vsync_period_ms <= 0:
+            raise ValueError("vsync period must be positive")
+
+    def stage_breakdown_ms(self, cpu_time_ms: float) -> dict[str, float]:
+        """Split a total CPU time across the pipeline stages."""
+        if cpu_time_ms < 0:
+            raise ValueError("cpu_time_ms must be non-negative")
+        return {stage: share * cpu_time_ms for stage, share in self.stage_shares.items()}
+
+    def next_vsync_ms(self, time_ms: float) -> float:
+        """The first VSync at or after ``time_ms``."""
+        if time_ms < 0:
+            raise ValueError("time must be non-negative")
+        ticks = math.ceil(time_ms / self.vsync_period_ms - 1e-9)
+        return ticks * self.vsync_period_ms
+
+    def frame_for(self, start_ms: float, cpu_time_ms: float) -> FrameResult:
+        """Produce the frame timing for work starting at ``start_ms``."""
+        ready = start_ms + cpu_time_ms
+        display = self.next_vsync_ms(ready)
+        return FrameResult(start_ms=start_ms, ready_ms=ready, display_ms=display)

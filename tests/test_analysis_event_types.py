@@ -1,0 +1,66 @@
+"""Tests for the Type I–IV event classification (Fig. 3)."""
+
+import pytest
+
+from repro.analysis.event_types import EventCategory, category_distribution, classify_events
+from repro.schedulers.ebs import EbsScheduler
+
+
+@pytest.fixture(scope="module")
+def classified(simulator, sample_trace, setup):
+    result = simulator.run_reactive(sample_trace, EbsScheduler())
+    return classify_events(sample_trace, result, setup.system, setup.power_table)
+
+
+class TestClassification:
+    def test_every_event_classified(self, classified, sample_trace):
+        assert len(classified) == len(sample_trace)
+
+    def test_distribution_sums_to_one(self, classified):
+        distribution = category_distribution(classified)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+        assert set(distribution) == set(EventCategory)
+
+    def test_type_i_events_are_infeasible_in_isolation(self, classified, setup, sample_trace):
+        from repro.schedulers.base import enumerate_options
+
+        for item in classified:
+            if item.category is EventCategory.TYPE_I:
+                event = sample_trace[item.outcome.index]
+                fastest = min(
+                    o.latency_ms
+                    for o in enumerate_options(setup.system, setup.power_table, event.workload)
+                )
+                assert fastest > event.qos_target_ms
+
+    def test_type_iv_events_meet_qos(self, classified):
+        for item in classified:
+            if item.category is EventCategory.TYPE_IV:
+                assert not item.outcome.violated
+
+    def test_type_ii_events_violated(self, classified):
+        for item in classified:
+            if item.category is EventCategory.TYPE_II:
+                assert item.outcome.violated
+
+    def test_type_iii_events_met_qos_with_interference(self, classified):
+        for item in classified:
+            if item.category is EventCategory.TYPE_III:
+                assert not item.outcome.violated
+                assert item.outcome.queue_delay_ms > 0.0
+
+    def test_mismatched_result_rejected(self, simulator, sample_trace, setup, generator):
+        other = generator.generate("bbc", seed=77)
+        result = simulator.run_reactive(other, EbsScheduler())
+        with pytest.raises(ValueError):
+            classify_events(sample_trace, result, setup.system, setup.power_table)
+
+    def test_empty_distribution(self):
+        distribution = category_distribution([])
+        assert sum(distribution.values()) == 0.0
+
+    def test_most_events_are_benign_under_ebs(self, classified):
+        """Fig. 3: the majority of events are Type IV, but a substantial
+        minority (the paper reports ~35%) are not handled optimally."""
+        distribution = category_distribution(classified)
+        assert distribution[EventCategory.TYPE_IV] > 0.4

@@ -1,0 +1,92 @@
+"""Tests for the Pareto analysis helpers (Fig. 13)."""
+
+import pytest
+
+from repro.analysis.pareto import (
+    ParetoPoint,
+    dominates,
+    non_dominated_schemes,
+    pareto_frontier,
+    points_from_metrics,
+)
+from repro.runtime.metrics import AggregateMetrics
+
+
+def metrics(name: str, energy: float, violation: float) -> AggregateMetrics:
+    return AggregateMetrics(
+        scheduler_name=name,
+        n_sessions=1,
+        n_events=100,
+        total_energy_mj=energy,
+        qos_violation_rate=violation,
+        mean_latency_ms=100.0,
+        wasted_energy_mj=0.0,
+        wasted_time_ms=0.0,
+        mispredictions=0,
+        commits=0,
+    )
+
+
+class TestParetoPoint:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParetoPoint("x", qos_violation=1.5, normalised_energy=1.0)
+        with pytest.raises(ValueError):
+            ParetoPoint("x", qos_violation=0.5, normalised_energy=0.0)
+
+
+class TestDominance:
+    def test_strictly_better_on_both_dominates(self):
+        a = ParetoPoint("PES", 0.05, 0.7)
+        b = ParetoPoint("EBS", 0.2, 0.9)
+        assert dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_equal_points_do_not_dominate(self):
+        a = ParetoPoint("A", 0.1, 0.8)
+        b = ParetoPoint("B", 0.1, 0.8)
+        assert not dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_trade_off_points_do_not_dominate(self):
+        cheap = ParetoPoint("Ondemand", 0.5, 0.8)
+        fast = ParetoPoint("Interactive", 0.2, 1.0)
+        assert not dominates(cheap, fast)
+        assert not dominates(fast, cheap)
+
+
+class TestFrontier:
+    def test_frontier_excludes_dominated_points(self):
+        points = [
+            ParetoPoint("PES", 0.05, 0.7),
+            ParetoPoint("EBS", 0.2, 0.9),
+            ParetoPoint("Interactive", 0.25, 1.0),
+            ParetoPoint("Ondemand", 0.5, 0.85),
+        ]
+        frontier = pareto_frontier(points)
+        assert {p.scheme for p in frontier} == {"PES"}
+        assert non_dominated_schemes(points) == {"PES"}
+
+    def test_frontier_keeps_trade_offs(self):
+        points = [ParetoPoint("A", 0.1, 0.9), ParetoPoint("B", 0.3, 0.6)]
+        assert {p.scheme for p in pareto_frontier(points)} == {"A", "B"}
+
+    def test_frontier_sorted_by_violation(self):
+        points = [ParetoPoint("B", 0.3, 0.6), ParetoPoint("A", 0.1, 0.9)]
+        frontier = pareto_frontier(points)
+        assert [p.scheme for p in frontier] == ["A", "B"]
+
+
+class TestPointsFromMetrics:
+    def test_normalises_to_baseline(self):
+        by_scheme = {
+            "Interactive": metrics("Interactive", 1000.0, 0.25),
+            "PES": metrics("PES", 700.0, 0.07),
+        }
+        points = {p.scheme: p for p in points_from_metrics(by_scheme)}
+        assert points["Interactive"].normalised_energy == pytest.approx(1.0)
+        assert points["PES"].normalised_energy == pytest.approx(0.7)
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(KeyError):
+            points_from_metrics({"PES": metrics("PES", 700.0, 0.07)})

@@ -1,0 +1,34 @@
+"""Tests for the plain-text reporting helpers."""
+
+import pytest
+
+from repro.analysis.reporting import format_percentage, format_percentage_map, format_table
+
+
+class TestPercentages:
+    def test_format_percentage(self):
+        assert format_percentage(0.265) == "26.5%"
+        assert format_percentage(0.07512, decimals=2) == "7.51%"
+
+    def test_format_percentage_map_preserves_order(self):
+        text = format_percentage_map({"cnn": 0.1, "bbc": 0.2})
+        lines = text.splitlines()
+        assert lines[0].startswith("cnn:")
+        assert lines[1].startswith("bbc:")
+
+
+class TestTable:
+    def test_renders_headers_and_rows(self):
+        table = format_table(["app", "energy"], [["cnn", 0.75], ["bbc", 0.8123456]])
+        lines = table.splitlines()
+        assert lines[0].startswith("app")
+        assert "cnn" in lines[2]
+        assert "0.812" in lines[3]
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        table = format_table(["a", "b"], [])
+        assert "a" in table

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.traces.io import load_traces
+
+
+class TestPlatformsCommand:
+    def test_lists_both_platforms(self, capsys):
+        assert main(["platforms"]) == 0
+        output = capsys.readouterr().out
+        assert "exynos5410" in output
+        assert "tegra_parker" in output
+        assert "A15" in output
+
+
+class TestGenerateCommand:
+    def test_writes_trace_file(self, tmp_path, capsys):
+        out = tmp_path / "traces.json"
+        code = main(["generate", "--apps", "cnn", "bbc", "--traces", "1", "--out", str(out)])
+        assert code == 0
+        traces = load_traces(out)
+        assert len(traces) == 2
+        assert set(traces.app_names()) == {"cnn", "bbc"}
+        assert "wrote 2 traces" in capsys.readouterr().out
+
+    def test_unknown_app_fails(self, tmp_path):
+        with pytest.raises(KeyError):
+            main(["generate", "--apps", "myspace", "--out", str(tmp_path / "x.json")])
+
+
+class TestEvaluateCommand:
+    def test_reactive_only_evaluation(self, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--apps",
+                "google",
+                "--traces",
+                "1",
+                "--schemes",
+                "Interactive",
+                "EBS",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Interactive" in output and "EBS" in output
+        assert "QoS violation" in output
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--schemes", "Magic"])
+
+    def test_rejects_unknown_platform(self):
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--platform", "snapdragon"])
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_generate_requires_out(self):
+        with pytest.raises(SystemExit):
+            main(["generate"])

@@ -1,0 +1,123 @@
+"""Unit tests for the PesScheduler facade."""
+
+import pytest
+
+from repro.core.control.control_unit import MatchResult
+from repro.core.pes import PesConfig, PesScheduler
+from repro.hardware.dvfs import DvfsModel
+from repro.traces.trace import TraceEvent
+from repro.webapp.events import EventType
+
+
+@pytest.fixture
+def pes(learner, catalog, setup):
+    return PesScheduler.create(
+        learner=learner,
+        profile=catalog.get("cnn"),
+        system=setup.system,
+        power_table=setup.power_table,
+    )
+
+
+def event(index: int, event_type: EventType, arrival: float, node: str = "cnn-body") -> TraceEvent:
+    return TraceEvent(
+        index=index,
+        event_type=event_type,
+        node_id=node,
+        arrival_ms=arrival,
+        workload=DvfsModel(10.0, 150.0),
+    )
+
+
+class TestPesConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PesConfig(confidence_threshold=0.0)
+        with pytest.raises(ValueError):
+            PesConfig(max_prediction_degree=0)
+        with pytest.raises(ValueError):
+            PesConfig(disable_after_mispredictions=0)
+
+    def test_defaults_match_paper(self):
+        config = PesConfig()
+        assert config.confidence_threshold == pytest.approx(0.70)
+        assert config.disable_after_mispredictions == 3
+        assert config.use_dom_analysis
+
+
+class TestPesScheduler:
+    def test_create_wires_components(self, pes):
+        assert pes.name == "PES"
+        assert pes.prediction_enabled
+        assert pes.fallback.name == "EBS"
+        assert pes.predictor.profile.name == "cnn"
+
+    def test_config_threshold_propagates_to_learner(self, learner, catalog, setup):
+        pes = PesScheduler.create(
+            learner=learner,
+            profile=catalog.get("cnn"),
+            system=setup.system,
+            power_table=setup.power_table,
+            config=PesConfig(confidence_threshold=0.9, max_prediction_degree=3),
+        )
+        assert pes.predictor.learner.confidence_threshold == pytest.approx(0.9)
+        assert pes.predictor.learner.max_degree == 3
+
+    def test_round_lifecycle_with_match(self, pes):
+        pes.observe_event(event(0, EventType.LOAD, 0.0))
+        schedule = pes.start_round(1000.0)
+        predictions = pes.pending_predictions()
+        assert len(schedule.assignments) == len(predictions)
+        if predictions:
+            verdict = pes.validate_event(predictions[0].event_type)
+            assert verdict is MatchResult.MATCH
+            pes.on_match(1500.0)
+            assert len(pes.pending_predictions()) == len(predictions) - 1
+
+    def test_mispredict_clears_round(self, pes):
+        pes.observe_event(event(0, EventType.LOAD, 0.0))
+        pes.start_round(1000.0)
+        predictions = pes.pending_predictions()
+        if predictions:
+            wrong = EventType.SUBMIT if predictions[0].event_type != EventType.SUBMIT else EventType.LOAD
+            assert pes.validate_event(wrong) is MatchResult.MISPREDICT
+            pes.on_mispredict(1500.0)
+            assert not pes.control.has_pending
+            assert pes.mispredictions == 1
+            assert pes.current_schedule is None
+
+    def test_cannot_start_round_while_pending(self, pes):
+        pes.observe_event(event(0, EventType.LOAD, 0.0))
+        pes.start_round(1000.0)
+        if pes.control.has_pending:
+            with pytest.raises(RuntimeError):
+                pes.start_round(2000.0)
+
+    def test_record_execution_feeds_workload_estimator(self, pes):
+        pes.record_execution(EventType.CLICK, DvfsModel(20.0, 300.0))
+        assert pes.optimizer.workload_estimator.observations(EventType.CLICK) == 1
+
+    def test_observe_event_updates_arrival_estimator(self, pes):
+        pes.observe_event(event(0, EventType.CLICK, 1000.0, node="cnn-menu-btn-0"))
+        pes.observe_event(event(1, EventType.CLICK, 3000.0, node="cnn-menu-btn-0"))
+        gap = pes.optimizer.arrival_estimator.expected_gap_ms(EventType.CLICK)
+        assert gap == pytest.approx(2000.0 * pes.config.arrival_conservatism)
+
+    def test_reset_restores_fresh_session(self, pes):
+        pes.observe_event(event(0, EventType.LOAD, 0.0))
+        pes.start_round(500.0)
+        pes.reset()
+        assert not pes.control.has_pending
+        assert pes.commits == 0
+        assert pes.prediction_enabled
+        assert len(pes.predictor.state.history) == 0
+
+    def test_dom_analysis_ablation_flag(self, learner, catalog, setup):
+        pes = PesScheduler.create(
+            learner=learner,
+            profile=catalog.get("cnn"),
+            system=setup.system,
+            power_table=setup.power_table,
+            config=PesConfig(use_dom_analysis=False),
+        )
+        assert not pes.predictor.use_dom_analysis

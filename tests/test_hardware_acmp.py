@@ -1,0 +1,101 @@
+"""Unit tests for the ACMP system description."""
+
+import pytest
+
+from repro.hardware.acmp import AcmpConfig, AcmpSystem, Cluster, ClusterKind
+from repro.hardware.platforms import exynos_5410
+
+
+@pytest.fixture
+def system() -> AcmpSystem:
+    return exynos_5410()
+
+
+class TestCluster:
+    def test_frequencies_must_ascend(self):
+        with pytest.raises(ValueError):
+            Cluster("X", ClusterKind.BIG, 4, (1000, 800))
+
+    def test_frequencies_must_be_unique(self):
+        with pytest.raises(ValueError):
+            Cluster("X", ClusterKind.BIG, 4, (800, 800, 900))
+
+    def test_core_count_positive(self):
+        with pytest.raises(ValueError):
+            Cluster("X", ClusterKind.BIG, 0, (800,))
+
+    def test_perf_scale_range(self):
+        with pytest.raises(ValueError):
+            Cluster("X", ClusterKind.LITTLE, 4, (400,), perf_scale=1.5)
+        with pytest.raises(ValueError):
+            Cluster("X", ClusterKind.LITTLE, 4, (400,), perf_scale=0.0)
+
+    def test_min_max_frequency(self, system):
+        big = system.big_cluster
+        assert big.min_frequency_mhz == 800
+        assert big.max_frequency_mhz == 1800
+
+    def test_nearest_frequency_exact(self, system):
+        assert system.big_cluster.nearest_frequency(1200) == 1200
+
+    def test_nearest_frequency_rounds_to_closest(self, system):
+        assert system.big_cluster.nearest_frequency(1240) == 1200
+        assert system.big_cluster.nearest_frequency(1260) == 1300
+
+    def test_nearest_frequency_tie_prefers_higher(self, system):
+        assert system.big_cluster.nearest_frequency(1250) == 1300
+
+    def test_ceil_frequency(self, system):
+        big = system.big_cluster
+        assert big.ceil_frequency(801) == 900
+        assert big.ceil_frequency(800) == 800
+        assert big.ceil_frequency(5000) == 1800
+
+
+class TestAcmpSystem:
+    def test_configuration_count_exynos(self, system):
+        # 11 big frequencies (800..1800 step 100) + 6 little (350..600 step 50).
+        assert len(system) == 17
+
+    def test_configurations_are_valid(self, system):
+        for config in system.configurations():
+            system.validate_config(config)
+
+    def test_validate_rejects_unknown_frequency(self, system):
+        with pytest.raises(ValueError):
+            system.validate_config(AcmpConfig("A15", 850))
+
+    def test_validate_rejects_unknown_cluster(self, system):
+        with pytest.raises(KeyError):
+            system.validate_config(AcmpConfig("M4", 800))
+
+    def test_big_and_little_lookup(self, system):
+        assert system.big_cluster.kind is ClusterKind.BIG
+        assert system.little_cluster.kind is ClusterKind.LITTLE
+
+    def test_max_and_min_performance_configs(self, system):
+        assert system.max_performance_config == AcmpConfig("A15", 1800)
+        assert system.min_performance_config == AcmpConfig("A7", 350)
+
+    def test_effective_frequency_scales_little_cluster(self, system):
+        big = system.effective_frequency_ghz(AcmpConfig("A15", 1000))
+        little = system.effective_frequency_ghz(AcmpConfig("A7", 500))
+        assert big == pytest.approx(1.0)
+        assert little < 0.5
+
+    def test_duplicate_cluster_names_rejected(self):
+        cluster = Cluster("A", ClusterKind.BIG, 4, (800,))
+        with pytest.raises(ValueError):
+            AcmpSystem("bad", (cluster, cluster))
+
+    def test_missing_little_cluster_raises(self):
+        cluster = Cluster("A", ClusterKind.BIG, 4, (800,))
+        system = AcmpSystem("bigonly", (cluster,))
+        with pytest.raises(LookupError):
+            _ = system.little_cluster
+
+    def test_iteration_matches_configurations(self, system):
+        assert list(iter(system)) == system.configurations()
+
+    def test_config_ordering_is_deterministic(self, system):
+        assert system.configurations() == system.configurations()

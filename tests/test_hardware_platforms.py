@@ -1,0 +1,54 @@
+"""Unit tests for the concrete platform definitions."""
+
+import pytest
+
+from repro.hardware.acmp import ClusterKind
+from repro.hardware.platforms import exynos_5410, get_platform, list_platforms, tegra_parker
+
+
+class TestExynos5410:
+    def test_big_cluster_is_a15_with_paper_frequency_ladder(self):
+        system = exynos_5410()
+        big = system.big_cluster
+        assert big.name == "A15"
+        assert big.frequencies_mhz[0] == 800
+        assert big.frequencies_mhz[-1] == 1800
+        steps = {b - a for a, b in zip(big.frequencies_mhz, big.frequencies_mhz[1:])}
+        assert steps == {100}
+
+    def test_little_cluster_is_a7_with_paper_frequency_ladder(self):
+        system = exynos_5410()
+        little = system.little_cluster
+        assert little.name == "A7"
+        assert little.frequencies_mhz[0] == 350
+        assert little.frequencies_mhz[-1] == 600
+        steps = {b - a for a, b in zip(little.frequencies_mhz, little.frequencies_mhz[1:])}
+        assert steps == {50}
+
+    def test_four_plus_four_cores(self):
+        system = exynos_5410()
+        assert system.big_cluster.core_count == 4
+        assert system.little_cluster.core_count == 4
+
+
+class TestTegraParker:
+    def test_has_big_and_little_clusters(self):
+        system = tegra_parker()
+        assert system.big_cluster.kind is ClusterKind.BIG
+        assert system.little_cluster.kind is ClusterKind.LITTLE
+
+    def test_wider_dvfs_range_than_exynos_big(self):
+        assert tegra_parker().big_cluster.max_frequency_mhz > exynos_5410().big_cluster.max_frequency_mhz
+
+
+class TestRegistry:
+    def test_list_platforms(self):
+        assert set(list_platforms()) == {"exynos5410", "tegra_parker"}
+
+    def test_get_platform_by_name(self):
+        assert get_platform("exynos5410").name == "exynos5410"
+        assert get_platform("tegra_parker").name == "tegra_parker"
+
+    def test_unknown_platform_raises(self):
+        with pytest.raises(KeyError):
+            get_platform("snapdragon")

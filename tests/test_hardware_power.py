@@ -1,0 +1,79 @@
+"""Unit tests for the power model and the persisted power table."""
+
+import pytest
+
+from repro.hardware.acmp import AcmpConfig
+from repro.hardware.platforms import exynos_5410
+from repro.hardware.power import ClusterPowerParams, PowerModel, PowerTable
+
+
+@pytest.fixture
+def system():
+    return exynos_5410()
+
+
+@pytest.fixture
+def table(system):
+    return PowerModel().build_table(system)
+
+
+class TestClusterPowerParams:
+    def test_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            ClusterPowerParams(static_w=-0.1, dynamic_coeff_w=1.0)
+
+    def test_rejects_sublinear_exponent(self):
+        with pytest.raises(ValueError):
+            ClusterPowerParams(static_w=0.1, dynamic_coeff_w=1.0, exponent=0.5)
+
+
+class TestPowerModel:
+    def test_table_covers_every_configuration(self, system, table):
+        for config in system.configurations():
+            assert config in table
+            assert table.power_w(config) > 0
+
+    def test_power_increases_with_frequency_within_cluster(self, system, table):
+        for cluster in system.clusters:
+            powers = [
+                table.power_w(AcmpConfig(cluster.name, f)) for f in cluster.frequencies_mhz
+            ]
+            assert powers == sorted(powers)
+
+    def test_big_cluster_hungrier_than_little_at_top_frequency(self, system, table):
+        big_max = table.power_w(system.max_performance_config)
+        little_max = table.power_w(
+            AcmpConfig(system.little_cluster.name, system.little_cluster.max_frequency_mhz)
+        )
+        assert big_max > 5 * little_max
+
+    def test_big_max_power_in_realistic_range(self, system, table):
+        # The Exynos 5410 A15 cluster draws a few watts flat out.
+        assert 2.0 < table.power_w(system.max_performance_config) < 6.0
+
+    def test_idle_power_below_any_active_power(self, system, table):
+        min_active = min(table.power_w(c) for c in system.configurations())
+        assert 0 < table.idle_w < min_active * 2  # idle comparable to lowest active
+
+    def test_unknown_config_raises(self, table):
+        with pytest.raises(KeyError):
+            table.power_w(AcmpConfig("A15", 12345))
+
+
+class TestPowerTablePersistence:
+    def test_json_round_trip(self, table):
+        restored = PowerTable.from_json(table.to_json())
+        assert restored.idle_w == pytest.approx(table.idle_w)
+        assert set(restored.active_w) == set(table.active_w)
+        for config, watts in table.active_w.items():
+            assert restored.power_w(config) == pytest.approx(watts)
+
+    def test_save_and_load_file(self, table, tmp_path):
+        path = tmp_path / "power.json"
+        table.save(path)
+        restored = PowerTable.load(path)
+        assert len(restored.active_w) == len(table.active_w)
+
+    def test_rejects_nonpositive_entries(self, system):
+        with pytest.raises(ValueError):
+            PowerTable(active_w={AcmpConfig("A15", 800): 0.0})

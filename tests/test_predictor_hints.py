@@ -1,0 +1,93 @@
+"""Tests for developer-provided event hints (the Sec. 7 extension)."""
+
+import pytest
+
+from repro.core.predictor.hints import EventHint, HintBook
+from repro.core.predictor.hybrid import HybridEventPredictor
+from repro.traces.session_state import SessionState
+from repro.webapp.events import EventType
+
+
+@pytest.fixture
+def state(catalog):
+    return SessionState.fresh(catalog.get("cnn"))
+
+
+class TestEventHint:
+    def test_confidence_validation(self):
+        with pytest.raises(ValueError):
+            EventHint(EventType.CLICK, EventType.SUBMIT, confidence=0.0)
+
+    def test_matching_by_event_and_node(self):
+        hint = EventHint(EventType.CLICK, EventType.SUBMIT, after_node_id="cnn-form-field")
+        assert hint.matches(EventType.CLICK, "cnn-form-field")
+        assert not hint.matches(EventType.CLICK, "cnn-nav-0")
+        assert not hint.matches(EventType.SCROLL, "cnn-form-field")
+        assert not hint.matches(None, None)
+
+    def test_generic_hint_ignores_node(self):
+        hint = EventHint(EventType.SCROLL, EventType.CLICK)
+        assert hint.matches(EventType.SCROLL, "anything")
+
+
+class TestHintBook:
+    def test_lookup_precedence_is_registration_order(self):
+        book = HintBook()
+        specific = EventHint(EventType.CLICK, EventType.SUBMIT, after_node_id="cnn-form-field")
+        generic = EventHint(EventType.CLICK, EventType.SCROLL)
+        book.add(specific)
+        book.add(generic)
+        assert book.lookup(EventType.CLICK, "cnn-form-field") is specific
+        assert book.lookup(EventType.CLICK, "elsewhere") is generic
+        assert len(book) == 2
+
+    def test_suggest_requires_matching_history(self, state):
+        book = HintBook([EventHint(EventType.CLICK, EventType.SCROLL)])
+        assert book.suggest(state) is None  # no history yet
+        state.apply_event(EventType.CLICK, "cnn-menu-btn-0")
+        suggestion = book.suggest(state)
+        assert suggestion == (EventType.SCROLL, 0.95)
+
+    def test_suggest_respects_dom_feasibility(self, state):
+        """A hint cannot predict an event the current document cannot produce:
+        after a navigating tap only a load is possible."""
+        book = HintBook([EventHint(EventType.CLICK, EventType.SCROLL)])
+        state.apply_event(EventType.CLICK, "cnn-nav-0")  # navigates
+        assert book.suggest(state) is None
+
+
+class TestHintedPredictor:
+    def test_hint_overrides_model_prediction(self, learner, catalog):
+        book = HintBook([EventHint(EventType.CLICK, EventType.SUBMIT, confidence=0.99)])
+        predictor = HybridEventPredictor(learner=learner, profile=catalog.get("cnn"), hints=book)
+        # Scroll the form into view so SUBMIT is actually possible, then click.
+        for _ in range(30):
+            if EventType.SUBMIT in predictor.state.available_events():
+                break
+            predictor.observe(EventType.SCROLL, "cnn-body")
+        predictor.observe(EventType.CLICK, "cnn-form-field", navigates=False)
+        if EventType.SUBMIT in predictor.state.available_events():
+            event_type, confidence = predictor.predict_next()
+            assert event_type is EventType.SUBMIT
+            assert confidence == pytest.approx(0.99)
+
+    def test_hints_extend_prediction_sequences(self, learner, catalog):
+        """A confident hint chain keeps the cumulative confidence above the
+        threshold for at least as many steps as the unhinted predictor."""
+        unhinted = HybridEventPredictor(learner=learner, profile=catalog.get("cnn"))
+        book = HintBook(
+            [
+                EventHint(EventType.SCROLL, EventType.SCROLL, confidence=0.99),
+                EventHint(EventType.CLICK, EventType.SCROLL, confidence=0.99),
+            ]
+        )
+        hinted = HybridEventPredictor(learner=learner, profile=catalog.get("cnn"), hints=book)
+        for predictor in (unhinted, hinted):
+            predictor.observe(EventType.SCROLL, "cnn-body")
+        assert len(hinted.predict_sequence()) >= len(unhinted.predict_sequence())
+
+    def test_predictor_without_hints_unaffected(self, learner, catalog):
+        predictor = HybridEventPredictor(learner=learner, profile=catalog.get("cnn"))
+        assert predictor.hints is None
+        predictor.observe(EventType.SCROLL, "cnn-body")
+        assert predictor.predict_sequence() is not None

@@ -1,0 +1,133 @@
+"""Unit tests for the from-scratch logistic models."""
+
+import numpy as np
+import pytest
+
+from repro.core.predictor.logistic import LogisticRegression, OneVsRestLogistic, SoftmaxRegression
+
+
+def linearly_separable(n: int = 400, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 2))
+    y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(int)
+    X = np.hstack([X, np.ones((n, 1))])
+    return X, y
+
+
+def three_class_problem(n: int = 600, seed: int = 1):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 2))
+    scores = np.stack([X[:, 0], X[:, 1], -(X[:, 0] + X[:, 1])], axis=1)
+    y = scores.argmax(axis=1)
+    X = np.hstack([X, np.ones((n, 1))])
+    return X, y
+
+
+class TestBinaryLogistic:
+    def test_fits_linearly_separable_data(self):
+        X, y = linearly_separable()
+        model = LogisticRegression(max_iterations=800, learning_rate=1.0)
+        model.fit(X, y.astype(float))
+        predictions = (model.predict_proba(X) > 0.5).astype(int)
+        assert (predictions == y).mean() > 0.95
+
+    def test_probabilities_in_unit_interval(self):
+        X, y = linearly_separable()
+        model = LogisticRegression().fit(X, y.astype(float))
+        probabilities = model.predict_proba(X)
+        assert np.all(probabilities >= 0.0) and np.all(probabilities <= 1.0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict_proba(np.zeros((1, 3)))
+
+    def test_rejects_non_binary_labels(self):
+        X, _ = linearly_separable()
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(X, np.full(X.shape[0], 2.0))
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros((10, 2)), np.zeros(5))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            LogisticRegression(l2=-1.0)
+
+
+class TestOneVsRest:
+    def test_fits_multiclass_problem(self):
+        X, y = three_class_problem()
+        model = OneVsRestLogistic(n_classes=3, max_iterations=800, learning_rate=1.0)
+        model.fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.85
+
+    def test_probabilities_normalised(self):
+        X, y = three_class_problem()
+        model = OneVsRestLogistic(n_classes=3).fit(X, y)
+        probabilities = model.predict_proba(X[:10])
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_mask_restricts_classes(self):
+        X, y = three_class_problem()
+        model = OneVsRestLogistic(n_classes=3).fit(X, y)
+        mask = np.array([True, False, True])
+        predictions = model.predict(X, mask)
+        assert set(np.unique(predictions)) <= {0, 2}
+
+    def test_mask_must_keep_at_least_one_class(self):
+        X, y = three_class_problem()
+        model = OneVsRestLogistic(n_classes=3).fit(X, y)
+        with pytest.raises(ValueError):
+            model.predict_proba(X[:1], np.array([False, False, False]))
+
+    def test_labels_out_of_range_rejected(self):
+        X, y = three_class_problem()
+        with pytest.raises(ValueError):
+            OneVsRestLogistic(n_classes=2).fit(X, y)
+
+    def test_needs_two_classes(self):
+        with pytest.raises(ValueError):
+            OneVsRestLogistic(n_classes=1)
+
+
+class TestSoftmax:
+    def test_recovers_argmax_partition(self):
+        X, y = three_class_problem()
+        model = SoftmaxRegression(n_classes=3, max_iterations=1500, learning_rate=1.0)
+        model.fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.95
+
+    def test_probabilities_sum_to_one(self):
+        X, y = three_class_problem()
+        model = SoftmaxRegression(n_classes=3).fit(X, y)
+        probabilities = model.predict_proba(X[:20])
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_mask_restriction_and_renormalisation(self):
+        X, y = three_class_problem()
+        model = SoftmaxRegression(n_classes=3).fit(X, y)
+        mask = np.array([False, True, True])
+        probabilities = model.predict_proba(X[:5], mask)
+        assert np.allclose(probabilities[:, 0], 0.0)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_beats_or_matches_ovr_on_argmax_data(self):
+        """The joint normalisation should not lose accuracy relative to the
+        one-vs-rest composition on softmax-generated labels."""
+        X, y = three_class_problem(n=900, seed=3)
+        softmax = SoftmaxRegression(n_classes=3, max_iterations=1500, learning_rate=1.0).fit(X, y)
+        ovr = OneVsRestLogistic(n_classes=3, max_iterations=1500, learning_rate=1.0).fit(X, y)
+        assert (softmax.predict(X) == y).mean() >= (ovr.predict(X) == y).mean() - 0.02
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            SoftmaxRegression(n_classes=3).predict_proba(np.zeros((1, 3)))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SoftmaxRegression(n_classes=1)
+        with pytest.raises(ValueError):
+            SoftmaxRegression(n_classes=3, learning_rate=-1.0)

@@ -1,0 +1,107 @@
+"""Unit tests for the recurrent event sequence learner."""
+
+import pytest
+
+from repro.core.predictor.dom_analysis import DomAnalyzer
+from repro.core.predictor.sequence_learner import EventSequenceLearner, PredictedEvent
+from repro.traces.session_state import SessionState
+from repro.webapp.events import EventType
+
+
+@pytest.fixture
+def tuned_learner(learner):
+    """The session-trained learner re-parameterised for multi-step prediction."""
+    return EventSequenceLearner(
+        model=learner.model,
+        encoder=learner.encoder,
+        extractor=learner.extractor,
+        confidence_threshold=0.70,
+        max_degree=8,
+    )
+
+
+class TestValidation:
+    def test_threshold_range(self, learner):
+        with pytest.raises(ValueError):
+            EventSequenceLearner(model=learner.model, confidence_threshold=0.0)
+        with pytest.raises(ValueError):
+            EventSequenceLearner(model=learner.model, confidence_threshold=1.5)
+
+    def test_max_degree_positive(self, learner):
+        with pytest.raises(ValueError):
+            EventSequenceLearner(model=learner.model, max_degree=0)
+
+    def test_predicted_event_confidence_bounds(self):
+        with pytest.raises(ValueError):
+            PredictedEvent(EventType.CLICK, confidence=1.5, cumulative_confidence=0.5, node_id="n")
+
+
+class TestSingleStep:
+    def test_predict_next_returns_type_and_confidence(self, tuned_learner, catalog):
+        state = SessionState.fresh(catalog.get("cnn"))
+        event_type, confidence = tuned_learner.predict_next(state)
+        assert isinstance(event_type, EventType)
+        assert 0.0 <= confidence <= 1.0
+
+    def test_mask_restricts_prediction(self, tuned_learner, catalog):
+        state = SessionState.fresh(catalog.get("cnn"))
+        analyzer = DomAnalyzer(encoder=tuned_learner.encoder)
+        state.apply_event(EventType.CLICK, "cnn-nav-0")  # navigation pending
+        event_type, _ = tuned_learner.predict_next(state, mask=analyzer.lnes_mask(state))
+        assert event_type is EventType.LOAD
+
+
+class TestSequencePrediction:
+    def test_sequence_respects_max_degree(self, tuned_learner, catalog):
+        state = SessionState.fresh(catalog.get("slashdot"))
+        predictions = tuned_learner.predict_sequence(
+            state, DomAnalyzer(encoder=tuned_learner.encoder)
+        )
+        assert len(predictions) <= tuned_learner.max_degree
+
+    def test_cumulative_confidence_is_monotone_product(self, tuned_learner, catalog):
+        state = SessionState.fresh(catalog.get("slashdot"))
+        predictions = tuned_learner.predict_sequence(
+            state, DomAnalyzer(encoder=tuned_learner.encoder)
+        )
+        cumulative = 1.0
+        for prediction in predictions:
+            cumulative *= prediction.confidence
+            assert prediction.cumulative_confidence == pytest.approx(cumulative)
+            assert prediction.cumulative_confidence >= tuned_learner.confidence_threshold
+
+    def test_tighter_threshold_never_predicts_further(self, learner, catalog):
+        state = SessionState.fresh(catalog.get("cnn"))
+        analyzer = DomAnalyzer(encoder=learner.encoder)
+        lengths = []
+        for threshold in (0.4, 0.7, 0.95):
+            tuned = EventSequenceLearner(
+                model=learner.model,
+                encoder=learner.encoder,
+                extractor=learner.extractor,
+                confidence_threshold=threshold,
+                max_degree=10,
+            )
+            lengths.append(len(tuned.predict_sequence(state, analyzer)))
+        assert lengths[0] >= lengths[1] >= lengths[2]
+
+    def test_prediction_does_not_mutate_state(self, tuned_learner, catalog):
+        state = SessionState.fresh(catalog.get("cnn"))
+        history_before = len(state.history)
+        scroll_before = state.dom.viewport.scroll_y
+        tuned_learner.predict_sequence(state, DomAnalyzer(encoder=tuned_learner.encoder))
+        assert len(state.history) == history_before
+        assert state.dom.viewport.scroll_y == pytest.approx(scroll_before)
+
+    def test_predictions_have_node_targets(self, tuned_learner, catalog):
+        state = SessionState.fresh(catalog.get("cnn"))
+        predictions = tuned_learner.predict_sequence(
+            state, DomAnalyzer(encoder=tuned_learner.encoder)
+        )
+        for prediction in predictions:
+            assert prediction.node_id
+
+    def test_without_dom_analysis_still_predicts(self, tuned_learner, catalog):
+        state = SessionState.fresh(catalog.get("cnn"))
+        predictions = tuned_learner.predict_sequence(state, None, use_dom_analysis=False)
+        assert isinstance(predictions, list)

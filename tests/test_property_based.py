@@ -1,0 +1,148 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.optimizer.ilp import BranchAndBoundSolver, DynamicProgrammingSolver
+from repro.core.optimizer.schedule import EventSpec
+from repro.hardware.acmp import AcmpConfig
+from repro.hardware.dvfs import DvfsModel, calibrate_two_point
+from repro.hardware.platforms import exynos_5410
+from repro.hardware.power import PowerModel
+from repro.schedulers.base import ConfigOption, enumerate_options
+from repro.webapp.rendering import RenderingPipeline
+
+SYSTEM = exynos_5410()
+POWER = PowerModel().build_table(SYSTEM)
+
+workloads = st.builds(
+    DvfsModel,
+    tmem_ms=st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+    ndep_mcycles=st.floats(min_value=0.0, max_value=5000.0, allow_nan=False),
+)
+
+
+class TestDvfsProperties:
+    @given(workload=workloads)
+    @settings(max_examples=60, deadline=None)
+    def test_latency_monotone_in_frequency_within_cluster(self, workload):
+        for cluster in SYSTEM.clusters:
+            latencies = [
+                workload.latency_ms(SYSTEM, AcmpConfig(cluster.name, f))
+                for f in cluster.frequencies_mhz
+            ]
+            assert all(a >= b - 1e-9 for a, b in zip(latencies, latencies[1:]))
+
+    @given(workload=workloads)
+    @settings(max_examples=60, deadline=None)
+    def test_latency_at_least_memory_time(self, workload):
+        for config in SYSTEM.configurations():
+            assert workload.latency_ms(SYSTEM, config) >= workload.tmem_ms - 1e-12
+
+    @given(
+        tmem=st.floats(min_value=0.0, max_value=300.0),
+        ndep=st.floats(min_value=1.0, max_value=5000.0),
+        fa=st.floats(min_value=0.2, max_value=2.0),
+        fb=st.floats(min_value=0.2, max_value=2.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_two_point_calibration_recovers_model(self, tmem, ndep, fa, fb):
+        if abs(fa - fb) < 0.05:
+            return
+        truth = DvfsModel(tmem, ndep)
+        fitted = calibrate_two_point(truth.latency_at_ghz(fa), fa, truth.latency_at_ghz(fb), fb)
+        assert np.isclose(fitted.tmem_ms, tmem, rtol=1e-6, atol=1e-6)
+        assert np.isclose(fitted.ndep_mcycles, ndep, rtol=1e-6, atol=1e-6)
+
+
+class TestOptionProperties:
+    @given(workload=workloads)
+    @settings(max_examples=40, deadline=None)
+    def test_pareto_prune_is_subset_and_keeps_extremes(self, workload):
+        full = enumerate_options(SYSTEM, POWER, workload)
+        pruned = enumerate_options(SYSTEM, POWER, workload, pareto_only=True)
+        full_set = {o.config for o in full}
+        assert {o.config for o in pruned} <= full_set
+        assert min(o.latency_ms for o in pruned) <= min(o.latency_ms for o in full) + 1e-9
+        assert min(o.energy_mj for o in pruned) <= min(o.energy_mj for o in full) + 1e-9
+
+
+# Strategy for small synthetic scheduling windows.
+option_strategy = st.builds(
+    ConfigOption,
+    config=st.sampled_from(SYSTEM.configurations()),
+    latency_ms=st.floats(min_value=1.0, max_value=400.0),
+    power_w=st.floats(min_value=0.1, max_value=4.0),
+)
+
+
+def spec_strategy(index: int):
+    return st.builds(
+        lambda options, release, slack: EventSpec(
+            label=f"event-{index}",
+            release_ms=release,
+            deadline_ms=release + slack,
+            options=tuple(options),
+        ),
+        options=st.lists(option_strategy, min_size=1, max_size=4),
+        release=st.floats(min_value=0.0, max_value=2000.0),
+        slack=st.floats(min_value=50.0, max_value=3000.0),
+    )
+
+
+windows = st.integers(min_value=1, max_value=4).flatmap(
+    lambda n: st.tuples(*[spec_strategy(i) for i in range(n)]).map(list)
+)
+
+
+class TestSolverProperties:
+    @given(specs=windows)
+    @settings(max_examples=40, deadline=None)
+    def test_branch_and_bound_feasible_schedules_meet_deadlines(self, specs):
+        schedule = BranchAndBoundSolver().solve(specs, 0.0)
+        assert len(schedule) == len(specs)
+        if schedule.feasible:
+            assert all(a.meets_deadline for a in schedule)
+
+    @given(specs=windows)
+    @settings(max_examples=40, deadline=None)
+    def test_dp_never_beats_exact_optimum(self, specs):
+        exact = BranchAndBoundSolver().solve(specs, 0.0)
+        approx = DynamicProgrammingSolver(bucket_ms=1.0).solve(specs, 0.0)
+        if exact.feasible and approx.feasible:
+            assert approx.total_energy_mj >= exact.total_energy_mj - 1e-6
+
+    @given(specs=windows)
+    @settings(max_examples=40, deadline=None)
+    def test_execution_order_preserved(self, specs):
+        schedule = BranchAndBoundSolver().solve(specs, 0.0)
+        finishes = [a.finish_ms for a in schedule]
+        assert all(a <= b + 1e-9 for a, b in zip(finishes, finishes[1:]))
+
+
+class TestRenderingProperties:
+    @given(time=st.floats(min_value=0.0, max_value=1e6))
+    @settings(max_examples=100, deadline=None)
+    def test_next_vsync_is_aligned_and_not_earlier(self, time):
+        pipeline = RenderingPipeline()
+        vsync = pipeline.next_vsync_ms(time)
+        assert vsync >= time - 1e-6
+        ticks = vsync / pipeline.vsync_period_ms
+        assert abs(ticks - round(ticks)) < 1e-6
+        assert vsync - time < pipeline.vsync_period_ms + 1e-6
+
+    @given(cpu_time=st.floats(min_value=0.0, max_value=5000.0), start=st.floats(min_value=0.0, max_value=1e5))
+    @settings(max_examples=60, deadline=None)
+    def test_frame_latency_at_least_cpu_time(self, cpu_time, start):
+        pipeline = RenderingPipeline()
+        frame = pipeline.frame_for(start, cpu_time)
+        assert frame.total_latency_ms >= cpu_time - 1e-6
+        assert frame.idle_wait_ms >= -1e-9
+
+
+class TestPowerProperties:
+    @given(st.sampled_from(SYSTEM.configurations()))
+    @settings(max_examples=30, deadline=None)
+    def test_active_power_always_exceeds_idle(self, config):
+        assert POWER.power_w(config) > 0
+        assert POWER.power_w(config) > POWER.idle_w * 0.5

@@ -1,0 +1,109 @@
+"""Unit tests for outcome/session metrics and aggregation."""
+
+import pytest
+
+from repro.runtime.metrics import (
+    AggregateMetrics,
+    EventOutcome,
+    SessionResult,
+    aggregate_results,
+    group_by_app,
+    normalised_energy,
+)
+from repro.webapp.events import EventType
+
+
+def outcome(index: int, latency: float, qos: float, energy: float = 50.0, arrival: float = 0.0) -> EventOutcome:
+    return EventOutcome(
+        index=index,
+        event_type=EventType.CLICK,
+        arrival_ms=arrival,
+        start_ms=arrival,
+        finish_ms=arrival + latency,
+        display_ms=arrival + latency,
+        qos_target_ms=qos,
+        active_energy_mj=energy,
+        config_label="<A15, 1000 MHz>",
+    )
+
+
+class TestEventOutcome:
+    def test_latency_and_violation(self):
+        ok = outcome(0, latency=100.0, qos=300.0)
+        assert ok.latency_ms == pytest.approx(100.0)
+        assert not ok.violated
+        assert ok.slack_ms == pytest.approx(200.0)
+        late = outcome(1, latency=400.0, qos=300.0)
+        assert late.violated
+
+
+class TestSessionResult:
+    def make_result(self) -> SessionResult:
+        return SessionResult(
+            app_name="cnn",
+            scheduler_name="EBS",
+            outcomes=[outcome(0, 100.0, 300.0), outcome(1, 400.0, 300.0), outcome(2, 30.0, 33.0)],
+            idle_energy_mj=500.0,
+            wasted_energy_mj=25.0,
+            wasted_time_ms=40.0,
+            mispredictions=2,
+            commits=8,
+            predictions_made=10,
+            prediction_rounds=4,
+            duration_ms=10_000.0,
+        )
+
+    def test_energy_composition(self):
+        result = self.make_result()
+        assert result.active_energy_mj == pytest.approx(150.0)
+        assert result.total_energy_mj == pytest.approx(150.0 + 25.0 + 500.0)
+
+    def test_qos_violation_rate(self):
+        result = self.make_result()
+        assert result.violations == 1
+        assert result.qos_violation_rate == pytest.approx(1 / 3)
+
+    def test_prediction_statistics(self):
+        result = self.make_result()
+        assert result.prediction_accuracy == pytest.approx(0.8)
+        assert result.misprediction_waste_ms == pytest.approx(20.0)
+        assert result.mean_prediction_degree == pytest.approx(2.5)
+
+    def test_empty_session(self):
+        empty = SessionResult(app_name="cnn", scheduler_name="EBS")
+        assert empty.qos_violation_rate == 0.0
+        assert empty.mean_latency_ms == 0.0
+        assert empty.prediction_accuracy == 0.0
+        assert empty.misprediction_waste_ms == 0.0
+
+
+class TestAggregation:
+    def test_aggregate_combines_sessions(self):
+        a = SessionResult("cnn", "EBS", [outcome(0, 100.0, 300.0)], idle_energy_mj=10.0)
+        b = SessionResult("cnn", "EBS", [outcome(0, 400.0, 300.0)], idle_energy_mj=20.0)
+        metrics = aggregate_results([a, b])
+        assert metrics.n_sessions == 2
+        assert metrics.n_events == 2
+        assert metrics.qos_violation_rate == pytest.approx(0.5)
+        assert metrics.total_energy_mj == pytest.approx(a.total_energy_mj + b.total_energy_mj)
+
+    def test_aggregate_rejects_mixed_schedulers(self):
+        a = SessionResult("cnn", "EBS")
+        b = SessionResult("cnn", "PES")
+        with pytest.raises(ValueError):
+            aggregate_results([a, b])
+
+    def test_aggregate_rejects_empty(self):
+        with pytest.raises(ValueError):
+            aggregate_results([])
+
+    def test_normalised_energy(self):
+        pes = AggregateMetrics("PES", 1, 10, 750.0, 0.05, 50.0, 0.0, 0.0, 0, 0)
+        base = AggregateMetrics("Interactive", 1, 10, 1000.0, 0.2, 40.0, 0.0, 0.0, 0, 0)
+        assert normalised_energy(pes, base) == pytest.approx(0.75)
+
+    def test_group_by_app(self):
+        results = [SessionResult("cnn", "EBS"), SessionResult("bbc", "EBS"), SessionResult("cnn", "EBS")]
+        grouped = group_by_app(results)
+        assert list(grouped) == ["cnn", "bbc"]
+        assert len(grouped["cnn"]) == 2

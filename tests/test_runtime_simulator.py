@@ -1,0 +1,75 @@
+"""Tests for the Simulator experiment driver."""
+
+import pytest
+
+from repro.core.pes import PesConfig
+from repro.runtime.metrics import aggregate_results
+from repro.runtime.simulator import SimulationSetup, Simulator
+from repro.schedulers.ebs import EbsScheduler
+
+
+class TestSimulationSetup:
+    def test_power_table_covers_platform(self):
+        setup = SimulationSetup()
+        assert len(setup.power_table.active_w) == len(setup.system)
+
+    def test_engine_config_bundles_models(self, setup):
+        config = setup.engine_config()
+        assert config.system is setup.system
+        assert config.power_table is setup.power_table
+
+
+class TestSimulator:
+    def test_run_reactive(self, simulator, small_trace):
+        result = simulator.run_reactive(small_trace, EbsScheduler())
+        assert result.scheduler_name == "EBS"
+        assert len(result.outcomes) == len(small_trace)
+
+    def test_run_scheme_names(self, simulator, small_trace, learner):
+        for scheme in ("Interactive", "Ondemand", "EBS", "Oracle"):
+            results = simulator.run_scheme([small_trace], scheme)
+            assert len(results) == 1
+            assert results[0].scheduler_name == scheme
+        pes_results = simulator.run_scheme([small_trace], "PES", learner=learner)
+        assert pes_results[0].scheduler_name == "PES"
+
+    def test_pes_requires_learner(self, simulator, small_trace):
+        with pytest.raises(ValueError):
+            simulator.run_scheme([small_trace], "PES")
+
+    def test_unknown_scheme_rejected(self, simulator, small_trace):
+        with pytest.raises(ValueError):
+            simulator.run_scheme([small_trace], "Magic")
+
+    def test_compare_runs_all_schemes(self, simulator, small_trace, learner):
+        results = simulator.compare([small_trace], ["EBS", "PES"], learner=learner)
+        assert set(results) == {"EBS", "PES"}
+        assert all(len(v) == 1 for v in results.values())
+
+    def test_pes_config_propagates(self, simulator, small_trace, learner):
+        result = simulator.run_pes(small_trace, learner, PesConfig(confidence_threshold=1.0))
+        assert result.commits == 0
+
+    def test_aggregate_per_app(self, simulator, generator, learner):
+        traces = [generator.generate("cnn", seed=7), generator.generate("bbc", seed=8)]
+        results = simulator.run_scheme([t.slice(0, 10) for t in traces], "EBS")
+        per_app = Simulator.aggregate_per_app(results)
+        assert set(per_app) == {"cnn", "bbc"}
+
+    def test_normalised_energy_by_app(self, simulator, small_trace, learner):
+        scheme_results = simulator.compare([small_trace], ["Interactive", "EBS"], learner=learner)
+        normalised = Simulator.normalised_energy_by_app(scheme_results, baseline="Interactive")
+        app = small_trace.app_name
+        assert normalised["Interactive"][app] == pytest.approx(1.0)
+        assert 0.0 < normalised["EBS"][app] <= 1.05
+
+    def test_normalised_energy_requires_baseline(self, simulator, small_trace):
+        results = {"EBS": simulator.run_scheme([small_trace], "EBS")}
+        with pytest.raises(KeyError):
+            Simulator.normalised_energy_by_app(results, baseline="Interactive")
+
+    def test_aggregate_overall(self, simulator, small_trace):
+        results = simulator.run_scheme([small_trace], "EBS")
+        metrics = Simulator.aggregate_overall(results)
+        assert metrics.n_sessions == 1
+        assert metrics.n_events == len(small_trace)

@@ -1,0 +1,106 @@
+"""Unit tests for the Interactive and Ondemand governor models."""
+
+import pytest
+
+from repro.hardware.dvfs import DvfsModel
+from repro.hardware.platforms import exynos_5410
+from repro.hardware.power import PowerModel
+from repro.schedulers.base import EventContext
+from repro.schedulers.interactive import InteractiveGovernor
+from repro.schedulers.ondemand import OndemandGovernor
+from repro.traces.trace import TraceEvent
+from repro.webapp.events import EventType
+
+
+@pytest.fixture(scope="module")
+def system():
+    return exynos_5410()
+
+
+@pytest.fixture(scope="module")
+def power_table(system):
+    return PowerModel().build_table(system)
+
+
+def make_ctx(system, power_table, idle_before_ms: float, event_type=EventType.CLICK):
+    event = TraceEvent(
+        index=0,
+        event_type=event_type,
+        node_id="n",
+        arrival_ms=10_000.0,
+        workload=DvfsModel(10.0, 200.0),
+    )
+    return EventContext(
+        event=event,
+        start_ms=10_000.0,
+        system=system,
+        power_table=power_table,
+        idle_before_ms=idle_before_ms,
+    )
+
+
+class TestInteractiveGovernor:
+    def test_idle_arrival_starts_at_low_frequency(self, system, power_table):
+        governor = InteractiveGovernor()
+        plan = governor.plan(make_ctx(system, power_table, idle_before_ms=5000.0))
+        assert plan.phases[0].config.frequency_mhz == system.big_cluster.min_frequency_mhz
+        assert plan.final_config.frequency_mhz == system.big_cluster.max_frequency_mhz
+
+    def test_busy_arrival_goes_straight_to_max(self, system, power_table):
+        governor = InteractiveGovernor()
+        plan = governor.plan(make_ctx(system, power_table, idle_before_ms=0.0))
+        assert len(plan.phases) == 1
+        assert plan.final_config.frequency_mhz == system.big_cluster.max_frequency_mhz
+
+    def test_partial_utilisation_scales_frequency(self, system, power_table):
+        governor = InteractiveGovernor(util_window_ms=100.0)
+        plan = governor.plan(make_ctx(system, power_table, idle_before_ms=50.0))
+        initial = plan.phases[0].config.frequency_mhz
+        assert system.big_cluster.min_frequency_mhz < initial < system.big_cluster.max_frequency_mhz
+
+    def test_runs_on_big_cluster(self, system, power_table):
+        governor = InteractiveGovernor()
+        plan = governor.plan(make_ctx(system, power_table, idle_before_ms=1000.0))
+        assert all(phase.config.cluster_name == system.big_cluster.name for phase in plan.phases)
+
+    def test_is_qos_agnostic(self, system, power_table):
+        """The plan does not depend on the event's QoS class."""
+        governor = InteractiveGovernor()
+        tap = governor.plan(make_ctx(system, power_table, 1000.0, EventType.CLICK))
+        move = governor.plan(make_ctx(system, power_table, 1000.0, EventType.SCROLL))
+        assert tap == move
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            InteractiveGovernor(sample_period_ms=0)
+        with pytest.raises(ValueError):
+            InteractiveGovernor(high_util_threshold=1.5)
+
+
+class TestOndemandGovernor:
+    def test_idle_arrival_starts_on_little_cluster(self, system, power_table):
+        governor = OndemandGovernor()
+        plan = governor.plan(make_ctx(system, power_table, idle_before_ms=5000.0))
+        assert plan.phases[0].config.cluster_name == system.little_cluster.name
+
+    def test_sustained_frequency_below_max(self, system, power_table):
+        governor = OndemandGovernor()
+        plan = governor.plan(make_ctx(system, power_table, idle_before_ms=5000.0))
+        assert plan.final_config.frequency_mhz < system.big_cluster.max_frequency_mhz
+
+    def test_slower_ramp_than_interactive(self, system, power_table):
+        ondemand = OndemandGovernor()
+        interactive = InteractiveGovernor()
+        ctx = make_ctx(system, power_table, idle_before_ms=5000.0)
+        ondemand_plan = ondemand.plan(ctx)
+        interactive_plan = interactive.plan(ctx)
+        assert ondemand_plan.phases[0].duration_ms > interactive_plan.phases[0].duration_ms
+
+    def test_busy_arrival_uses_max(self, system, power_table):
+        governor = OndemandGovernor()
+        plan = governor.plan(make_ctx(system, power_table, idle_before_ms=0.0))
+        assert plan.phases[0].config.frequency_mhz == system.big_cluster.max_frequency_mhz
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            OndemandGovernor(sustained_freq_fraction=0.0)

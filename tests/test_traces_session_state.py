@@ -1,0 +1,117 @@
+"""Unit tests for the session state and Table-1 features."""
+
+import numpy as np
+import pytest
+
+from repro.traces.session_state import FEATURE_NAMES, FEATURE_WINDOW, SessionState, document_rng
+from repro.webapp.apps import AppCatalog
+from repro.webapp.events import EventType
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return AppCatalog()
+
+
+@pytest.fixture
+def state(catalog):
+    return SessionState.fresh(catalog.get("cnn"))
+
+
+class TestFeatures:
+    def test_five_features_in_unit_range(self, state):
+        features = state.features()
+        assert features.shape == (len(FEATURE_NAMES),)
+        assert np.all(features >= 0.0) and np.all(features <= 1.0)
+
+    def test_distance_to_click_saturates_without_clicks(self, state):
+        assert state.features()[2] == pytest.approx(1.0)
+
+    def test_distance_to_click_after_click(self, state):
+        state.apply_event(EventType.CLICK, f"{state.profile.name}-menu-btn-0")
+        assert state.features()[2] == pytest.approx(1.0 / FEATURE_WINDOW)
+        state.apply_event(EventType.SCROLL, state.dom.root.node_id)
+        assert state.features()[2] == pytest.approx(2.0 / FEATURE_WINDOW)
+
+    def test_scroll_count_feature(self, state):
+        for _ in range(3):
+            state.apply_event(EventType.SCROLL, state.dom.root.node_id)
+        assert state.features()[4] == pytest.approx(3.0 / FEATURE_WINDOW)
+
+    def test_window_is_bounded(self, state):
+        for _ in range(10):
+            state.apply_event(EventType.SCROLL, state.dom.root.node_id)
+        assert state.features()[4] == pytest.approx(1.0)
+
+    def test_navigation_count_feature(self, state):
+        nav_node = f"{state.profile.name}-nav-0"
+        state.apply_event(EventType.CLICK, nav_node)
+        assert state.features()[3] == pytest.approx(1.0 / FEATURE_WINDOW)
+
+
+class TestAvailableEvents:
+    def test_fresh_state_offers_pointer_events(self, state):
+        events = state.available_events()
+        assert EventType.SCROLL in events
+        assert EventType.CLICK in events
+        assert EventType.LOAD not in events
+
+    def test_after_navigation_only_load_is_possible(self, state):
+        state.apply_event(EventType.CLICK, f"{state.profile.name}-nav-0")
+        assert state.available_events() == {EventType.LOAD}
+
+    def test_load_restores_pointer_events(self, state):
+        state.apply_event(EventType.CLICK, f"{state.profile.name}-nav-0")
+        state.apply_event(EventType.LOAD, f"{state.profile.name}-body")
+        assert EventType.CLICK in state.available_events()
+
+
+class TestStateEvolution:
+    def test_scroll_moves_viewport(self, state):
+        before = state.dom.viewport.scroll_y
+        state.apply_event(EventType.SCROLL, state.dom.root.node_id)
+        assert state.dom.viewport.scroll_y > before
+
+    def test_menu_toggle_changes_visible_clickable_area(self, state):
+        button = f"{state.profile.name}-menu-btn-0"
+        before = state.dom.clickable_region_fraction()
+        state.apply_event(EventType.CLICK, button)
+        assert state.dom.clickable_region_fraction() != pytest.approx(before)
+
+    def test_navigates_override_used_for_replay(self, state):
+        # A node with no memoised effect can still be replayed as navigating
+        # because the recorded trace stores the ground truth.
+        state.apply_event(EventType.CLICK, f"{state.profile.name}-sec-0-el-0", navigates=True)
+        assert state.available_events() == {EventType.LOAD}
+
+    def test_load_rebuilds_document_deterministically(self, catalog):
+        a = SessionState.fresh(catalog.get("cnn"))
+        b = SessionState.fresh(catalog.get("cnn"))
+        for s in (a, b):
+            s.apply_event(EventType.CLICK, f"cnn-nav-0")
+            s.apply_event(EventType.LOAD, "cnn-body")
+        assert a.dom.clickable_region_fraction() == pytest.approx(b.dom.clickable_region_fraction())
+        assert a.doc_index == b.doc_index == 1
+
+    def test_reset_document(self, state):
+        state.apply_event(EventType.SCROLL, state.dom.root.node_id)
+        state.reset_document()
+        assert state.doc_index == 0
+        assert len(state.history) == 0
+        assert state.dom.viewport.scroll_y == 0.0
+
+    def test_clone_is_independent(self, state):
+        clone = state.clone()
+        clone.apply_event(EventType.SCROLL, clone.dom.root.node_id)
+        assert clone.dom.viewport.scroll_y != state.dom.viewport.scroll_y
+        assert len(clone.history) != len(state.history)
+
+
+class TestDocumentRng:
+    def test_deterministic_per_profile_and_index(self, catalog):
+        profile = catalog.get("cnn")
+        a = document_rng(profile, 3).integers(1_000_000)
+        b = document_rng(profile, 3).integers(1_000_000)
+        c = document_rng(profile, 4).integers(1_000_000)
+        assert a == b
+        assert a != c
