@@ -1,0 +1,32 @@
+"""Standalone entry point for the perf-regression benches.
+
+Equivalent to ``python -m repro bench``; kept next to the figure benchmarks
+so the perf trajectory tooling lives in one place.  Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--results-dir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench import run_all
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="run the perf benches and write BENCH_*.json")
+    parser.add_argument(
+        "--results-dir",
+        type=Path,
+        default=None,
+        help="directory for BENCH_*.json (default: the repo's results/)",
+    )
+    args = parser.parse_args(argv)
+    run_all(results_dir=args.results_dir)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Perf-regression macro-bench: a full scheme sweep over the 4-app workload.
+
+Marked ``perf`` and deselected from the default pytest run; writes
+``results/BENCH_compare.json``.  The floor is loose on purpose — it guards
+against the sweep falling back to super-linear whole-trace solves, not
+against machine noise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import bench_compare, write_bench_json
+
+#: Scheme x trace replays per second; the reference container measures ~4-6
+#: after the hot-path refactor (the seed measured well under 1).
+MIN_SESSIONS_PER_SEC = 1.0
+
+
+@pytest.mark.perf
+def test_perf_compare_writes_trajectory():
+    result = bench_compare()
+    path = write_bench_json(result)
+    assert path.exists()
+    assert result.ops_per_sec >= MIN_SESSIONS_PER_SEC, (
+        f"compare sweep regressed to {result.ops_per_sec:.2f} sessions/s "
+        f"(floor {MIN_SESSIONS_PER_SEC}); see {path}"
+    )

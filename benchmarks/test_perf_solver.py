@@ -1,0 +1,32 @@
+"""Perf-regression micro-bench: the DP solver on the profiled oracle workload.
+
+Marked ``perf`` and therefore deselected from the default pytest run (see
+pyproject.toml); run on demand with ``pytest -m perf benchmarks``.  Writes
+``results/BENCH_solver.json`` so successive PRs accumulate a trajectory.
+
+The floor asserted here is deliberately loose (a quarter of the measured
+post-refactor throughput on the reference container) — it exists to catch
+order-of-magnitude regressions such as reintroducing per-state tuple
+concatenation, not to flake on machine noise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import bench_solver, write_bench_json
+
+#: The integer-lattice solver measures ~9-10 solves/s on the reference
+#: container (the seed implementation measured 0.35 solves/s).
+MIN_SOLVES_PER_SEC = 2.0
+
+
+@pytest.mark.perf
+def test_perf_solver_writes_trajectory():
+    result = bench_solver()
+    path = write_bench_json(result)
+    assert path.exists()
+    assert result.ops_per_sec >= MIN_SOLVES_PER_SEC, (
+        f"DP solver regressed to {result.ops_per_sec:.2f} solves/s "
+        f"(floor {MIN_SOLVES_PER_SEC}); see {path}"
+    )

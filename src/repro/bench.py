@@ -1,0 +1,175 @@
+"""Performance-regression benches for the scheduling hot path.
+
+Two benches anchor the perf trajectory of the repo:
+
+* ``bench_solver`` — micro: :class:`DynamicProgrammingSolver.solve` on the
+  profiled 4-app oracle workload (whole-trace windows of ~30-50 events,
+  the instance shape that dominated the seed profile).
+* ``bench_compare`` — macro: a ``Simulator.compare`` sweep of the reactive
+  baselines and the oracle over the same traces.
+
+Each bench emits a JSON file under ``results/`` with the schema
+``{name, ops_per_sec, wall_s, git_rev}`` so future PRs can regress against
+the recorded trajectory.  Entry points::
+
+    PYTHONPATH=src python -m repro bench
+    PYTHONPATH=src python benchmarks/run_bench.py
+    PYTHONPATH=src python -m pytest -m perf benchmarks
+
+The pytest ``perf`` marker is deselected by default (see pyproject.toml),
+keeping tier-1 fast while the benches stay runnable on demand.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.optimizer.ilp import DynamicProgrammingSolver
+from repro.core.optimizer.schedule import EventSpec
+from repro.runtime.simulator import SimulationSetup, Simulator
+from repro.schedulers.base import enumerate_options
+from repro.traces.generator import TraceGenerator
+from repro.webapp.apps import AppCatalog
+
+#: Applications of the profiled oracle workload the solver bench replays.
+BENCH_APPS: tuple[str, ...] = ("cnn", "google", "ebay", "sina")
+
+#: Trace seed matching the evaluation fixtures (held-out traces).
+BENCH_SEED: int = 500_000
+
+#: Deadline reserve mirroring ``OracleEngine.safety_margin_ms``.
+SAFETY_MARGIN_MS: float = 8.0
+
+def _default_results_dir() -> Path:
+    """The repo's ``results/`` when running from a checkout, else ``./results``.
+
+    Resolving relative to ``__file__`` would point inside site-packages for
+    an installed distribution and silently drop the trajectory there.
+    """
+    checkout = Path(__file__).resolve().parent.parent.parent
+    if (checkout / "benchmarks").is_dir() and (checkout / "src").is_dir():
+        return checkout / "results"
+    return Path.cwd() / "results"
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One bench measurement, serialisable to the ``BENCH_*.json`` schema."""
+
+    name: str
+    ops_per_sec: float
+    wall_s: float
+    git_rev: str
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "ops_per_sec": round(self.ops_per_sec, 4),
+            "wall_s": round(self.wall_s, 4),
+            "git_rev": self.git_rev,
+        }
+
+
+def git_rev() -> str:
+    """Short revision of the working tree, or ``"unknown"`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def write_bench_json(result: BenchResult, results_dir: Path | None = None) -> Path:
+    directory = results_dir or _default_results_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{result.name}.json"
+    path.write_text(json.dumps(result.to_json(), indent=2) + "\n")
+    return path
+
+
+def _oracle_windows(setup: SimulationSetup) -> list[list[EventSpec]]:
+    """Whole-trace oracle DP instances for the profiled 4-app workload."""
+    generator = TraceGenerator(catalog=AppCatalog())
+    traces = generator.generate_many(list(BENCH_APPS), 1, base_seed=BENCH_SEED)
+    windows: list[list[EventSpec]] = []
+    for trace in traces:
+        specs = [
+            EventSpec(
+                label=f"event-{event.index}",
+                release_ms=0.0,
+                deadline_ms=max(event.deadline_ms - SAFETY_MARGIN_MS, 0.0),
+                options=tuple(
+                    enumerate_options(
+                        setup.system, setup.power_table, event.workload, pareto_only=True
+                    )
+                ),
+                speculative=True,
+            )
+            for event in trace
+        ]
+        windows.append(specs)
+    return windows
+
+
+def bench_solver(min_duration_s: float = 3.0) -> BenchResult:
+    """Micro-bench ``DynamicProgrammingSolver.solve`` (ops = window solves)."""
+    setup = SimulationSetup()
+    windows = _oracle_windows(setup)
+    solver = DynamicProgrammingSolver(bucket_ms=1.0)
+    for specs in windows:  # warm-up (option cache, numpy)
+        solver.solve(specs, 0.0)
+
+    solves = 0
+    start = time.perf_counter()
+    while (elapsed := time.perf_counter() - start) < min_duration_s:
+        for specs in windows:
+            solver.solve(specs, 0.0)
+        solves += len(windows)
+    return BenchResult(
+        name="solver",
+        ops_per_sec=solves / elapsed,
+        wall_s=elapsed,
+        git_rev=git_rev(),
+    )
+
+
+def bench_compare(repeats: int = 3) -> BenchResult:
+    """Macro-bench a scheme sweep (ops = scheme x trace session replays)."""
+    simulator = Simulator()
+    generator = TraceGenerator(catalog=simulator.catalog)
+    traces = generator.generate_many(list(BENCH_APPS), 1, base_seed=BENCH_SEED)
+    schemes = ["Interactive", "Ondemand", "EBS", "Oracle"]
+    simulator.compare(traces, schemes)  # warm-up
+
+    start = time.perf_counter()
+    for _ in range(repeats):
+        simulator.compare(traces, schemes)
+    elapsed = time.perf_counter() - start
+    sessions = repeats * len(schemes) * len(traces)
+    return BenchResult(
+        name="compare",
+        ops_per_sec=sessions / elapsed,
+        wall_s=elapsed,
+        git_rev=git_rev(),
+    )
+
+
+def run_all(results_dir: Path | None = None) -> list[Path]:
+    """Run every bench and persist the ``BENCH_*.json`` artefacts."""
+    paths = []
+    for bench in (bench_solver, bench_compare):
+        result = bench()
+        path = write_bench_json(result, results_dir)
+        print(f"{result.name}: {result.ops_per_sec:.3f} ops/s over {result.wall_s:.2f}s -> {path}")
+        paths.append(path)
+    return paths

@@ -5,13 +5,15 @@ Four subcommands cover the usual workflow:
 * ``generate``  — synthesise interaction traces and save them to JSON,
 * ``train``     — train the event predictor and report Fig. 8 accuracy,
 * ``evaluate``  — replay traces under the scheduling schemes (Figs. 11/12),
-* ``platforms`` — list the available hardware platform models.
+* ``platforms`` — list the available hardware platform models,
+* ``bench``     — run the perf-regression benches (writes ``BENCH_*.json``).
 
 Examples::
 
     python -m repro generate --apps cnn bbc --traces 3 --out traces.json
     python -m repro train --traces-per-app 6
     python -m repro evaluate --apps cnn google --schemes Interactive EBS PES
+    python -m repro bench
 """
 
 from __future__ import annotations
@@ -63,6 +65,11 @@ def _build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--seed", type=int, default=500_000)
 
     sub.add_parser("platforms", help="list the available hardware platform models")
+
+    bench = sub.add_parser("bench", help="run the perf-regression benches")
+    bench.add_argument(
+        "--results-dir", default=None, help="directory for BENCH_*.json (default: results/)"
+    )
     return parser
 
 
@@ -124,6 +131,15 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.bench import run_all
+
+    run_all(results_dir=Path(args.results_dir) if args.results_dir else None)
+    return 0
+
+
 def _cmd_platforms(_: argparse.Namespace) -> int:
     for name in list_platforms():
         system = get_platform(name)
@@ -143,6 +159,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "train": _cmd_train,
         "evaluate": _cmd_evaluate,
         "platforms": _cmd_platforms,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

@@ -30,7 +30,9 @@ Fig. 9 plot is based on the optimizer's planned completion times.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
+from itertools import islice
 
 from repro.core.control.control_unit import MatchResult
 from repro.core.control.pfb import SpeculativeFrame
@@ -190,7 +192,7 @@ class ProactiveEngine:
         wasted_time = 0.0
         previous_config: AcmpConfig | None = None
         # (prediction, planned assignment) pairs for the current round, in order.
-        pending: list[tuple[PredictedEvent, Assignment]] = []
+        pending: deque[tuple[PredictedEvent, Assignment]] = deque()
         spec_cursor = 0.0  # earliest time the next speculative execution can start
 
         for event in trace:
@@ -199,7 +201,7 @@ class ProactiveEngine:
             verdict = pes.validate_event(event.event_type)
 
             if verdict is MatchResult.MATCH and pending:
-                _, assignment = pending.pop(0)
+                _, assignment = pending.popleft()
                 chosen = assignment.option.config
                 switch = self.config.switching.switch_latency_ms(previous_config, chosen)
                 duration = switch + event.workload.latency_ms(self.config.system, chosen)
@@ -280,7 +282,7 @@ class ProactiveEngine:
                 round_start = max(busy_until, arrival)
                 schedule = pes.start_round(round_start)
                 predictions = pes.pending_predictions()
-                pending = list(zip(predictions, schedule.assignments))
+                pending = deque(zip(predictions, schedule.assignments))
                 spec_cursor = round_start
 
         duration = outcomes[-1].display_ms if outcomes else 0.0
@@ -304,7 +306,7 @@ class ProactiveEngine:
     def _push_ready_frames(
         self,
         pes: PesScheduler,
-        pending: list[tuple[PredictedEvent, Assignment]],
+        pending: deque[tuple[PredictedEvent, Assignment]],
         now_ms: float,
     ) -> None:
         """Move planned speculative frames whose planned completion time has
@@ -312,7 +314,7 @@ class ProactiveEngine:
         pfb = pes.control.pfb
         already_buffered = len(pfb)
         next_sequence = pfb.committed + pfb.squashed + already_buffered
-        for offset, (prediction, assignment) in enumerate(pending[already_buffered:]):
+        for offset, (prediction, assignment) in enumerate(islice(pending, already_buffered, None)):
             if assignment.finish_ms > now_ms:
                 break
             frame = SpeculativeFrame(
@@ -365,11 +367,29 @@ class ProactiveEngine:
 
 @dataclass
 class OracleEngine:
-    """Replays a trace with a priori knowledge of the whole event sequence."""
+    """Replays a trace with a priori knowledge of the whole event sequence.
+
+    ``default_lookahead_events`` bounds the planning window used when the
+    :class:`OracleScheduler` does not pin one itself: solving the whole trace
+    as a single DP instance grows super-linearly with trace length while the
+    extra lookahead stops paying for itself after a few dozen events (events
+    that far apart no longer interfere).  Set it to ``None`` to recover the
+    unbounded whole-trace solve.
+    """
 
     config: EngineConfig
     safety_margin_ms: float = 8.0
     dp_bucket_ms: float = 1.0
+    #: Planning window (in events) used when the scheduler does not set one.
+    default_lookahead_events: int | None = 48
+
+    def __post_init__(self) -> None:
+        if self.dp_bucket_ms <= 0:
+            raise ValueError("dp_bucket_ms must be positive")
+        if self.safety_margin_ms < 0:
+            raise ValueError("safety_margin_ms must be non-negative")
+        if self.default_lookahead_events is not None and self.default_lookahead_events <= 0:
+            raise ValueError("default_lookahead_events must be positive or None")
 
     def run(self, trace: Trace, oracle: OracleScheduler | None = None) -> SessionResult:
         oracle = oracle or OracleScheduler()
@@ -381,7 +401,9 @@ class OracleEngine:
         previous_config: AcmpConfig | None = None
         clock = 0.0
         index = 0
-        chunk_size = oracle.lookahead_events or len(events) or 1
+        chunk_size = (
+            oracle.lookahead_events or self.default_lookahead_events or len(events) or 1
+        )
 
         while index < len(events):
             chunk = events[index : index + chunk_size]

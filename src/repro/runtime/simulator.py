@@ -63,6 +63,14 @@ class Simulator:
         self._reactive = ReactiveEngine(config)
         self._proactive = ProactiveEngine(config)
         self._oracle = OracleEngine(config)
+        #: scheme name -> factory for the reactive baselines.  ``run_scheme``
+        #: builds one scheduler per sweep and relies on ``reset()`` between
+        #: traces instead of re-dispatching and reconstructing per trace.
+        self._baseline_factories: dict[str, type[ReactiveScheduler]] = {
+            "Interactive": InteractiveGovernor,
+            "Ondemand": OndemandGovernor,
+            "EBS": EbsScheduler,
+        }
 
     # -- single-trace runs ---------------------------------------------------------
 
@@ -104,25 +112,21 @@ class Simulator:
         """Run every trace under one named scheme.
 
         ``scheme`` is one of ``"Interactive"``, ``"Ondemand"``, ``"EBS"``,
-        ``"PES"`` (requires ``learner``), or ``"Oracle"``.
+        ``"PES"`` (requires ``learner``), or ``"Oracle"``.  Dispatch happens
+        once per sweep: baselines reuse a single scheduler instance across
+        traces (``ReactiveEngine.run`` resets it before each replay).
         """
-        results: list[SessionResult] = []
-        for trace in traces:
-            if scheme == "Interactive":
-                results.append(self.run_reactive(trace, InteractiveGovernor()))
-            elif scheme == "Ondemand":
-                results.append(self.run_reactive(trace, OndemandGovernor()))
-            elif scheme == "EBS":
-                results.append(self.run_reactive(trace, EbsScheduler()))
-            elif scheme == "PES":
-                if learner is None:
-                    raise ValueError("running PES requires a trained learner")
-                results.append(self.run_pes(trace, learner, pes_config))
-            elif scheme == "Oracle":
-                results.append(self.run_oracle(trace))
-            else:
-                raise ValueError(f"unknown scheme {scheme!r}")
-        return results
+        factory = self._baseline_factories.get(scheme)
+        if factory is not None:
+            scheduler = factory()
+            return [self.run_reactive(trace, scheduler) for trace in traces]
+        if scheme == "PES":
+            if learner is None:
+                raise ValueError("running PES requires a trained learner")
+            return [self.run_pes(trace, learner, pes_config) for trace in traces]
+        if scheme == "Oracle":
+            return [self.run_oracle(trace) for trace in traces]
+        raise ValueError(f"unknown scheme {scheme!r}")
 
     def compare(
         self,

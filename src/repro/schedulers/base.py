@@ -99,15 +99,37 @@ class ReactiveScheduler(abc.ABC):
 
 @dataclass(frozen=True)
 class ConfigOption:
-    """One point of an event's latency/energy trade-off space."""
+    """One point of an event's latency/energy trade-off space.
+
+    ``energy_mj`` is materialised at construction time: the solvers read it
+    millions of times per evaluation run, so it is a plain attribute rather
+    than a recomputed property.
+    """
 
     config: AcmpConfig
     latency_ms: float
     power_w: float
+    energy_mj: float = field(init=False, compare=False)
 
-    @property
-    def energy_mj(self) -> float:
-        return self.power_w * self.latency_ms
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "energy_mj", self.power_w * self.latency_ms)
+
+
+#: Memoised ``enumerate_options`` results.  Keys are
+#: ``(id(system), id(power_table), workload, pareto_only)``; each value pins
+#: the system/power-table objects so their ids cannot be recycled while the
+#: entry lives.  ``DvfsModel`` is a frozen dataclass, so workloads that
+#: repeat across events (trained estimators, replayed traces) hash to the
+#: same key and skip the full configuration sweep.
+_OPTIONS_CACHE: dict[tuple, tuple[AcmpSystem, PowerTable, tuple[ConfigOption, ...]]] = {}
+
+#: Safety valve: evict oldest entries beyond this many cached sweeps.
+_OPTIONS_CACHE_MAX = 4096
+
+
+def clear_enumerate_options_cache() -> None:
+    """Drop every memoised option sweep (tests / long-lived services)."""
+    _OPTIONS_CACHE.clear()
 
 
 def enumerate_options(
@@ -123,7 +145,17 @@ def enumerate_options(
     dominated (no other option is both faster and cheaper), which is the
     candidate set the optimizer branches over.  Options are returned sorted
     by ascending latency.
+
+    Results are memoised per ``(system, power_table, workload, pareto_only)``
+    — keyed on the ``DvfsModel`` *value* — because traces re-use workload
+    models heavily and the sweep sits on the scheduling hot path.  A fresh
+    list is returned on every call so callers may mutate it freely.
     """
+    key = (id(system), id(power_table), workload, pareto_only)
+    cached = _OPTIONS_CACHE.get(key)
+    if cached is not None:
+        return list(cached[2])
+
     options = [
         ConfigOption(
             config=config,
@@ -133,12 +165,16 @@ def enumerate_options(
         for config in system.configurations()
     ]
     options.sort(key=lambda o: (o.latency_ms, o.energy_mj))
-    if not pareto_only:
-        return options
-    pruned: list[ConfigOption] = []
-    best_energy = float("inf")
-    for option in options:
-        if option.energy_mj < best_energy - 1e-12:
-            pruned.append(option)
-            best_energy = option.energy_mj
-    return pruned
+    if pareto_only:
+        pruned: list[ConfigOption] = []
+        best_energy = float("inf")
+        for option in options:
+            if option.energy_mj < best_energy - 1e-12:
+                pruned.append(option)
+                best_energy = option.energy_mj
+        options = pruned
+
+    if len(_OPTIONS_CACHE) >= _OPTIONS_CACHE_MAX:
+        _OPTIONS_CACHE.pop(next(iter(_OPTIONS_CACHE)))
+    _OPTIONS_CACHE[key] = (system, power_table, tuple(options))
+    return list(options)

@@ -157,7 +157,20 @@ class SessionState:
         self.history.clear()
 
     def clone(self) -> "SessionState":
-        """Deep copy used for hypothetical roll-forward during prediction."""
-        import copy
+        """Structured copy used for hypothetical roll-forward during prediction.
 
-        return copy.deepcopy(self)
+        Hand-rolled instead of ``copy.deepcopy`` (which was the single
+        largest predictor-side cost): the immutable pieces — the frozen
+        :class:`AppProfile`, the frozen ``CallbackEffect`` values, and the
+        frozen ``ObservedEvent`` history entries — are shared, while the
+        mutable DOM tree is cloned node by node and the Semantic-Tree
+        mapping and history window get fresh containers.
+        """
+        return SessionState(
+            profile=self.profile,
+            dom=self.dom.clone(),
+            semantic=SemanticTree(effects=dict(self.semantic.effects)),
+            doc_index=self.doc_index,
+            history=deque(self.history, maxlen=FEATURE_WINDOW),
+            last_navigated=self.last_navigated,
+        )

@@ -110,6 +110,28 @@ class DomNode:
         for child in self.children:
             yield from child.walk()
 
+    def clone(self) -> "DomNode":
+        """Structured deep copy of the subtree rooted at this node.
+
+        Hand-rolled instead of ``copy.deepcopy`` because cloning sits on the
+        prediction hot path (one clone per hypothetical roll-forward step).
+        The copy owns its listener set and children list; the parent pointer
+        of the returned root is left unset.
+        """
+        copied = DomNode(
+            tag=self.tag,
+            node_id=self.node_id,
+            y=self.y,
+            height=self.height,
+            width=self.width,
+            display=self.display,
+            listeners=set(self.listeners),
+            is_link=self.is_link,
+        )
+        for child in self.children:
+            copied.append_child(child.clone())
+        return copied
+
     def toggle_display(self) -> None:
         """Flip between ``block`` and ``none`` (the Fig. 7 collapsible menu)."""
         self.display = "none" if self.display == "block" else "block"
@@ -178,6 +200,10 @@ class DomTree:
         for node in self.visible_nodes():
             events |= node.listeners
         return events
+
+    def clone(self) -> "DomTree":
+        """Independent copy of the tree (viewport is immutable and shared)."""
+        return DomTree(self.root.clone(), viewport=self.viewport, page_height=self._page_height)
 
     # -- mutation ----------------------------------------------------------
 

@@ -179,3 +179,35 @@ class TestOracleEngine:
     def test_every_event_reported(self, engine_config, small_trace):
         result = OracleEngine(engine_config).run(small_trace, OracleScheduler())
         assert len(result.outcomes) == len(small_trace)
+
+    def test_bounded_default_lookahead_close_to_unbounded(self, engine_config, sample_trace):
+        """A bounded planning window trades a tiny amount of energy for
+        bounded per-window solve cost.  A 12-event window chunks the 39-event
+        sample trace into four DP instances; the energy stays within a small
+        tolerance of the whole-trace solve and QoS does not regress."""
+        unbounded = OracleEngine(engine_config, default_lookahead_events=None).run(
+            sample_trace, OracleScheduler()
+        )
+        chunked = OracleEngine(engine_config, default_lookahead_events=12).run(
+            sample_trace, OracleScheduler()
+        )
+        assert chunked.total_energy_mj >= unbounded.total_energy_mj * 0.999
+        assert chunked.total_energy_mj <= unbounded.total_energy_mj * 1.02
+        assert chunked.qos_violation_rate <= max(unbounded.qos_violation_rate, 0.05)
+
+        default = OracleEngine(engine_config).run(sample_trace, OracleScheduler())
+        assert default.total_energy_mj <= unbounded.total_energy_mj * 1.02
+
+    def test_rejects_non_positive_bucket(self, engine_config):
+        with pytest.raises(ValueError, match="dp_bucket_ms"):
+            OracleEngine(engine_config, dp_bucket_ms=0.0)
+        with pytest.raises(ValueError, match="dp_bucket_ms"):
+            OracleEngine(engine_config, dp_bucket_ms=-1.0)
+
+    def test_rejects_negative_safety_margin(self, engine_config):
+        with pytest.raises(ValueError, match="safety_margin_ms"):
+            OracleEngine(engine_config, safety_margin_ms=-0.5)
+
+    def test_rejects_non_positive_default_lookahead(self, engine_config):
+        with pytest.raises(ValueError, match="default_lookahead_events"):
+            OracleEngine(engine_config, default_lookahead_events=0)
