@@ -23,8 +23,14 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="directory for BENCH_*.json (default: the repo's results/)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=4,
+        help="worker processes for the parallel-sweep bench (default 4)",
+    )
     args = parser.parse_args(argv)
-    run_all(results_dir=args.results_dir)
+    run_all(results_dir=args.results_dir, jobs=args.jobs)
     return 0
 
 

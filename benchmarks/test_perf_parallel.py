@@ -1,0 +1,40 @@
+"""Perf bench: serial-vs-parallel speedup of a large scheme sweep.
+
+Marked ``perf`` and deselected from the default pytest run; writes
+``results/BENCH_parallel.json``.  The hard assertion is *bit-identity* of
+the serial and parallel sweeps; the speedup assertion only applies on
+machines with enough cores — a 1-core container cannot run four workers
+faster than one, and the JSON records ``cpu_count`` so the trajectory
+stays interpretable.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench import bench_parallel, write_bench_json
+
+#: Speedup floor for ``jobs=4`` when at least four physical cores exist.
+#: Loose on purpose: it guards against the fan-out degenerating to serial
+#: execution (pool serialisation bugs), not against machine noise.
+MIN_SPEEDUP_ON_4_CORES = 2.0
+
+
+@pytest.mark.perf
+def test_perf_parallel_sweep_identical_and_scales():
+    result = bench_parallel(jobs=4)
+    path = write_bench_json(result)
+    assert path.exists()
+    assert result.extra is not None
+    assert result.extra["n_sessions"] >= 200
+    assert result.extra["identical"], (
+        "parallel sweep diverged from the serial sweep; see " + str(path)
+    )
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        assert result.extra["speedup"] >= MIN_SPEEDUP_ON_4_CORES, (
+            f"jobs=4 speedup {result.extra['speedup']:.2f}x on {cores} cores "
+            f"(floor {MIN_SPEEDUP_ON_4_CORES}x); see {path}"
+        )

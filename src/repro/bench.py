@@ -1,12 +1,16 @@
 """Performance-regression benches for the scheduling hot path.
 
-Two benches anchor the perf trajectory of the repo:
+Three benches anchor the perf trajectory of the repo:
 
 * ``bench_solver`` — micro: :class:`DynamicProgrammingSolver.solve` on the
   profiled 4-app oracle workload (whole-trace windows of ~30-50 events,
   the instance shape that dominated the seed profile).
 * ``bench_compare`` — macro: a ``Simulator.compare`` sweep of the reactive
   baselines and the oracle over the same traces.
+* ``bench_parallel`` — scaling: serial vs multi-process replay of a large
+  (200+ session) sweep through :class:`repro.runtime.parallel.ParallelEvaluator`,
+  recording the speedup, the machine's CPU count, and a bit-identity check
+  of the two sweeps.
 
 Each bench emits a JSON file under ``results/`` with the schema
 ``{name, ops_per_sec, wall_s, git_rev}`` so future PRs can regress against
@@ -33,7 +37,7 @@ from repro.core.optimizer.schedule import EventSpec
 from repro.runtime.simulator import SimulationSetup, Simulator
 from repro.schedulers.base import enumerate_options
 from repro.traces.generator import TraceGenerator
-from repro.webapp.apps import AppCatalog
+from repro.webapp.apps import AppCatalog, SEEN_APPS
 
 #: Applications of the profiled oracle workload the solver bench replays.
 BENCH_APPS: tuple[str, ...] = ("cnn", "google", "ebay", "sina")
@@ -64,14 +68,20 @@ class BenchResult:
     ops_per_sec: float
     wall_s: float
     git_rev: str
+    #: Bench-specific measurements merged into the JSON (e.g. the parallel
+    #: bench records jobs, cpu_count, speedup, and the equivalence check).
+    extra: dict | None = None
 
     def to_json(self) -> dict:
-        return {
+        payload = {
             "name": self.name,
             "ops_per_sec": round(self.ops_per_sec, 4),
             "wall_s": round(self.wall_s, 4),
             "git_rev": self.git_rev,
         }
+        if self.extra:
+            payload.update(self.extra)
+        return payload
 
 
 def git_rev() -> str:
@@ -164,10 +174,72 @@ def bench_compare(repeats: int = 3) -> BenchResult:
     )
 
 
-def run_all(results_dir: Path | None = None) -> list[Path]:
+def bench_parallel(
+    jobs: int = 4,
+    min_sessions: int = 200,
+    schemes: tuple[str, ...] = ("Interactive", "Ondemand", "EBS", "Oracle"),
+) -> BenchResult:
+    """Serial-vs-parallel speedup of a large scheme sweep (ops = replays).
+
+    Generates at least ``min_sessions`` sessions (SeedSequence substreams,
+    deterministic across worker counts), replays them under ``schemes`` with
+    ``jobs=1`` and ``jobs=jobs``, verifies the two sweeps are bit-identical,
+    and records the speedup together with the machine's CPU count — a 1-core
+    container cannot show parallel speedup, so readers of the trajectory
+    need both numbers.
+    """
+    import os
+
+    from repro.runtime.parallel import ParallelEvaluator
+    from repro.utils import resolve_jobs
+
+    jobs = resolve_jobs(jobs)
+    catalog = AppCatalog()
+    generator = TraceGenerator(catalog=catalog)
+    apps = list(SEEN_APPS)
+    per_app = -(-min_sessions // len(apps))  # ceil division
+    traces = generator.generate_many_parallel(
+        apps, per_app, base_seed=BENCH_SEED, jobs=jobs
+    )
+
+    setup = SimulationSetup()
+    serial = ParallelEvaluator(setup=setup, catalog=catalog, jobs=1)
+    parallel = ParallelEvaluator(setup=setup, catalog=catalog, jobs=jobs)
+    serial.compare(list(traces)[:4], schemes)  # warm-up (option caches, numpy)
+
+    start = time.perf_counter()
+    serial_results = serial.compare(traces, schemes)
+    serial_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel_results = parallel.compare(traces, schemes)
+    parallel_wall = time.perf_counter() - start
+
+    identical = serial_results == parallel_results
+    replays = len(schemes) * len(traces)
+    return BenchResult(
+        name="parallel",
+        ops_per_sec=replays / parallel_wall,
+        wall_s=parallel_wall,
+        git_rev=git_rev(),
+        extra={
+            "jobs": jobs,
+            "cpu_count": os.cpu_count(),
+            "n_sessions": len(traces),
+            "n_replays": replays,
+            "schemes": list(schemes),
+            "serial_wall_s": round(serial_wall, 4),
+            "parallel_wall_s": round(parallel_wall, 4),
+            "speedup": round(serial_wall / parallel_wall, 4),
+            "identical": identical,
+        },
+    )
+
+
+def run_all(results_dir: Path | None = None, jobs: int = 4) -> list[Path]:
     """Run every bench and persist the ``BENCH_*.json`` artefacts."""
     paths = []
-    for bench in (bench_solver, bench_compare):
+    for bench in (bench_solver, bench_compare, lambda: bench_parallel(jobs=jobs)):
         result = bench()
         path = write_bench_json(result, results_dir)
         print(f"{result.name}: {result.ops_per_sec:.3f} ops/s over {result.wall_s:.2f}s -> {path}")

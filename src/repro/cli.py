@@ -14,6 +14,10 @@ Examples::
     python -m repro train --traces-per-app 6
     python -m repro evaluate --apps cnn google --schemes Interactive EBS PES
     python -m repro bench
+
+``evaluate`` and ``bench`` take ``--jobs N`` to fan the (scheme x trace)
+replays out over N worker processes (``--jobs 0`` = one per CPU); results
+are bit-identical for any worker count — see :mod:`repro.runtime.parallel`.
 """
 
 from __future__ import annotations
@@ -63,12 +67,24 @@ def _build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--platform", default="exynos5410", choices=list_platforms())
     evaluate.add_argument("--train-traces-per-app", type=int, default=6)
     evaluate.add_argument("--seed", type=int, default=500_000)
+    evaluate.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the scheme sweep (0 = one per CPU; default 1, serial)",
+    )
 
     sub.add_parser("platforms", help="list the available hardware platform models")
 
     bench = sub.add_parser("bench", help="run the perf-regression benches")
     bench.add_argument(
         "--results-dir", default=None, help="directory for BENCH_*.json (default: results/)"
+    )
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=4,
+        help="worker processes for the parallel-sweep bench (default 4)",
     )
     return parser
 
@@ -114,8 +130,10 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         )
         learner = PredictorTrainer(catalog=catalog).train(training).learner
 
+    from repro.utils import resolve_jobs
+
     traces = generator.generate_many(args.apps, args.traces, base_seed=args.seed)
-    results = simulator.compare(traces, args.schemes, learner=learner)
+    results = simulator.compare(traces, args.schemes, learner=learner, jobs=resolve_jobs(args.jobs))
 
     metrics = {scheme: aggregate_results(res) for scheme, res in results.items()}
     baseline = args.schemes[0]
@@ -136,7 +154,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     from repro.bench import run_all
 
-    run_all(results_dir=Path(args.results_dir) if args.results_dir else None)
+    run_all(results_dir=Path(args.results_dir) if args.results_dir else None, jobs=args.jobs)
     return 0
 
 

@@ -69,6 +69,12 @@ class WorkloadEstimator:
     def observations(self, event_type: EventType) -> int:
         return self._count.get(event_type, 0)
 
+    def reset(self) -> None:
+        """Forget every recorded measurement (new session)."""
+        self._sum_tmem.clear()
+        self._sum_ndep.clear()
+        self._count.clear()
+
 
 @dataclass
 class ArrivalEstimator:
@@ -116,6 +122,12 @@ class ArrivalEstimator:
                 del gaps[0]
         self._last_arrival_ms = arrival_ms
         self._last_interaction = interaction
+
+    def reset(self) -> None:
+        """Forget every observed gap (new session)."""
+        self._gaps.clear()
+        self._last_arrival_ms = None
+        self._last_interaction = None
 
     def expected_gap_ms(self, event_type: EventType) -> float:
         """Pessimistic estimate of the gap before an event of this type."""

@@ -166,8 +166,18 @@ class PesScheduler:
         return self.control.commits
 
     def reset(self) -> None:
-        """Reset per-session state (new trace replay)."""
+        """Reset per-session state (new trace replay).
+
+        Clears *everything* a replay mutates — predictor session state, the
+        control unit, the dispatcher, both optimizer estimators, and the EBS
+        fallback's calibration — so a scheduler instance reused across traces
+        (the per-app cache in :class:`~repro.runtime.simulator.Simulator`)
+        behaves identically to a freshly constructed one.
+        """
         self.predictor.reset()
         self.control.reset()
         self.dispatcher.reset()
+        self.optimizer.workload_estimator.reset()
+        self.optimizer.arrival_estimator.reset()
+        self.fallback.reset()
         self.current_schedule = None

@@ -22,6 +22,39 @@ def _sigmoid(z: np.ndarray) -> np.ndarray:
     return 1.0 / (1.0 + np.exp(-np.clip(z, -35.0, 35.0)))
 
 
+def _mask_and_normalise(
+    probabilities: np.ndarray, mask: np.ndarray | None, n_classes: int
+) -> np.ndarray:
+    """Zero out masked classes and renormalise each row to sum to one.
+
+    ``mask`` may be a single class mask of shape ``(n_classes,)`` applied to
+    every row, or a per-row mask of shape ``(n_rows, n_classes)`` — the batched
+    form used when scoring a whole trace in one call.  A row whose masked
+    probabilities are all (near) zero falls back to uniform over its mask.
+    """
+    if mask is None:
+        totals = probabilities.sum(axis=1, keepdims=True)
+        uniform = np.ones(n_classes) / n_classes
+        return np.where(totals > 1e-12, probabilities / np.maximum(totals, 1e-12), uniform)
+    mask = np.asarray(mask, dtype=bool)
+    if mask.ndim == 1:
+        if mask.shape != (n_classes,):
+            raise ValueError("mask must have one entry per class")
+        kept = mask.sum()
+    elif mask.ndim == 2:
+        if mask.shape != probabilities.shape:
+            raise ValueError("a 2-D mask must have one row per sample and one entry per class")
+        kept = mask.sum(axis=1, keepdims=True)
+    else:
+        raise ValueError("mask must be 1-D or 2-D")
+    if not np.all(kept > 0):
+        raise ValueError("mask removes every class")
+    probabilities = probabilities * mask
+    totals = probabilities.sum(axis=1, keepdims=True)
+    uniform = mask / kept
+    return np.where(totals > 1e-12, probabilities / np.maximum(totals, 1e-12), uniform)
+
+
 @dataclass
 class LogisticRegression:
     """Binary logistic model trained by full-batch gradient descent."""
@@ -101,6 +134,12 @@ class OneVsRestLogistic:
     max_iterations: int = 400
     l2: float = 1e-3
     models: list[LogisticRegression] = field(default_factory=list, repr=False)
+    #: Cached stack of the per-class weight vectors, shape (n_classes,
+    #: n_features); rebuilt lazily whenever any model's weights change so a
+    #: whole candidate set is scored with one ``features @ W.T`` matmul
+    #: instead of one Python-level dot product per class.
+    _weight_matrix: np.ndarray | None = field(default=None, repr=False, compare=False)
+    _weight_refs: tuple = field(default=(), repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.n_classes < 2:
@@ -126,36 +165,37 @@ class OneVsRestLogistic:
     def is_fitted(self) -> bool:
         return len(self.models) == self.n_classes
 
+    def _stacked_weights(self) -> np.ndarray:
+        refs = tuple(model.weights for model in self.models)
+        if any(weights is None for weights in refs):
+            raise RuntimeError("model is not fitted")
+        stale = (
+            self._weight_matrix is None
+            or len(refs) != len(self._weight_refs)
+            or any(a is not b for a, b in zip(refs, self._weight_refs))
+        )
+        if stale:
+            self._weight_matrix = np.stack(refs, axis=0)
+            self._weight_refs = refs
+        return self._weight_matrix
+
     def raw_proba(self, features: np.ndarray) -> np.ndarray:
         """Unnormalised per-class positive probabilities, shape (n, n_classes)."""
         if not self.is_fitted:
             raise RuntimeError("model is not fitted")
-        columns = [model.predict_proba(features) for model in self.models]
-        return np.stack(columns, axis=1)
+        weights = self._stacked_weights()
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        return _sigmoid(features @ weights.T)
 
     def predict_proba(self, features: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
         """Normalised class probabilities, optionally restricted by ``mask``.
 
-        ``mask`` is a boolean vector of length ``n_classes``; masked-out
+        ``mask`` is a boolean class mask — either one vector of length
+        ``n_classes`` applied to every row, or one row per sample; masked-out
         classes get probability zero before normalisation — this is how the
         DOM analysis narrows the prediction space to the Likely-Next-Event-Set.
         """
-        probabilities = self.raw_proba(features)
-        if mask is not None:
-            mask = np.asarray(mask, dtype=bool)
-            if mask.shape != (self.n_classes,):
-                raise ValueError("mask must have one entry per class")
-            if not mask.any():
-                raise ValueError("mask removes every class")
-            probabilities = probabilities * mask
-        totals = probabilities.sum(axis=1, keepdims=True)
-        # A row can be all-zero when the mask removes every class the models
-        # give non-negligible probability; fall back to uniform over the mask.
-        uniform = (mask if mask is not None else np.ones(self.n_classes)) / (
-            mask.sum() if mask is not None else self.n_classes
-        )
-        normalised = np.where(totals > 1e-12, probabilities / np.maximum(totals, 1e-12), uniform)
-        return normalised
+        return _mask_and_normalise(self.raw_proba(features), mask, self.n_classes)
 
     def predict(self, features: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
         return self.predict_proba(features, mask).argmax(axis=1)
@@ -273,20 +313,13 @@ class SoftmaxRegression:
         return self.temperature
 
     def predict_proba(self, features: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
-        """Class probabilities, optionally restricted to a boolean class mask."""
-        probabilities = self.raw_proba(features)
-        if mask is not None:
-            mask = np.asarray(mask, dtype=bool)
-            if mask.shape != (self.n_classes,):
-                raise ValueError("mask must have one entry per class")
-            if not mask.any():
-                raise ValueError("mask removes every class")
-            probabilities = probabilities * mask
-        totals = probabilities.sum(axis=1, keepdims=True)
-        uniform = (mask if mask is not None else np.ones(self.n_classes)) / (
-            mask.sum() if mask is not None else self.n_classes
-        )
-        return np.where(totals > 1e-12, probabilities / np.maximum(totals, 1e-12), uniform)
+        """Class probabilities, optionally restricted to a boolean class mask.
+
+        ``mask`` follows the same convention as
+        :meth:`OneVsRestLogistic.predict_proba`: one vector of length
+        ``n_classes``, or one row per sample for batched scoring.
+        """
+        return _mask_and_normalise(self.raw_proba(features), mask, self.n_classes)
 
     def predict(self, features: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
         return self.predict_proba(features, mask).argmax(axis=1)

@@ -73,6 +73,24 @@ class EventSequenceLearner:
         index = int(probabilities.argmax())
         return self.encoder.decode(index), float(probabilities[index])
 
+    def predict_next_batch(
+        self, features: np.ndarray, masks: np.ndarray | None = None
+    ) -> list[tuple[EventType, float]]:
+        """Batched :meth:`predict_next` over pre-extracted feature rows.
+
+        ``features`` is a ``(n_samples, n_features)`` matrix and ``masks`` an
+        optional per-row boolean class-mask matrix.  The whole batch is
+        scored with a single ``features @ W.T`` pass through the underlying
+        model, which is how the accuracy evaluation scores an entire
+        validation trace at once.
+        """
+        probabilities = self.model.predict_proba(features, masks)
+        indices = probabilities.argmax(axis=1)
+        return [
+            (self.encoder.decode(int(index)), float(probabilities[row, index]))
+            for row, index in enumerate(indices)
+        ]
+
     # -- recurrent multi-step prediction -----------------------------------------
 
     def predict_sequence(

@@ -130,7 +130,10 @@ def evaluate_accuracy(
 
     The evaluation is teacher-forced: after each actual event the session
     state is updated with the ground truth, and the prediction for the next
-    event is compared against what the user actually did.
+    event is compared against what the user actually did.  Because teacher
+    forcing fixes every session state up front, the whole trace is scored
+    with one batched ``predict_next_batch`` call (one matrix multiply)
+    instead of one model query per event.
     """
     catalog = catalog or AppCatalog()
     analyzer = DomAnalyzer(encoder=learner.encoder)
@@ -141,14 +144,23 @@ def evaluate_accuracy(
     for trace in trace_list:
         profile = catalog.get(trace.app_name)
         state = SessionState.fresh(profile)
+        feature_rows: list[np.ndarray] = []
+        mask_rows: list[np.ndarray] = []
+        actual: list = []
         for position, event in enumerate(trace):
             if position > 0:
-                mask = analyzer.lnes_mask(state) if use_dom_analysis else None
-                predicted, _ = learner.predict_next(state, mask=mask)
-                total[trace.app_name] = total.get(trace.app_name, 0) + 1
-                if predicted == event.event_type:
-                    correct[trace.app_name] = correct.get(trace.app_name, 0) + 1
+                feature_rows.append(learner.extractor.extract(state))
+                if use_dom_analysis:
+                    mask_rows.append(analyzer.lnes_mask(state))
+                actual.append(event.event_type)
             state.apply_event(event.event_type, event.node_id, navigates=event.navigates)
+        if not feature_rows:
+            continue
+        masks = np.vstack(mask_rows) if use_dom_analysis else None
+        predictions = learner.predict_next_batch(np.vstack(feature_rows), masks)
+        total[trace.app_name] = total.get(trace.app_name, 0) + len(actual)
+        hits = sum(1 for (predicted, _), truth in zip(predictions, actual) if predicted == truth)
+        correct[trace.app_name] = correct.get(trace.app_name, 0) + hits
 
     return {
         app: correct.get(app, 0) / count

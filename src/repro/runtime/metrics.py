@@ -150,29 +150,111 @@ class AggregateMetrics:
         return self.commits / validated
 
 
+@dataclass
+class StreamingAggregator:
+    """Incrementally folds :class:`SessionResult`\\ s into running totals.
+
+    The parallel evaluation engine feeds results into an aggregator as
+    workers deliver them, so a sweep over thousands of sessions never has to
+    hold every ``SessionResult`` in memory at once.  Folding the same
+    results in the same order produces the exact floating-point totals of
+    :func:`aggregate_results` (which is itself implemented as a fold).
+    """
+
+    scheduler_name: str | None = None
+    n_sessions: int = 0
+    n_events: int = 0
+    violations: int = 0
+    total_latency_ms: float = 0.0
+    total_energy_mj: float = 0.0
+    wasted_energy_mj: float = 0.0
+    wasted_time_ms: float = 0.0
+    mispredictions: int = 0
+    commits: int = 0
+
+    def add(self, result: SessionResult) -> None:
+        """Fold one session into the running totals."""
+        if self.scheduler_name is None:
+            self.scheduler_name = result.scheduler_name
+        elif result.scheduler_name != self.scheduler_name:
+            raise ValueError(
+                "cannot aggregate results from different schedulers: "
+                f"{sorted({self.scheduler_name, result.scheduler_name})}"
+            )
+        self.n_sessions += 1
+        self.n_events += result.n_events
+        for outcome in result.outcomes:
+            self.total_latency_ms += outcome.latency_ms
+            if outcome.violated:
+                self.violations += 1
+        self.total_energy_mj += result.total_energy_mj
+        self.wasted_energy_mj += result.wasted_energy_mj
+        self.wasted_time_ms += result.wasted_time_ms
+        self.mispredictions += result.mispredictions
+        self.commits += result.commits
+
+    def merge(self, other: "StreamingAggregator") -> None:
+        """Fold another aggregator's totals into this one."""
+        if other.scheduler_name is None:
+            return
+        if self.scheduler_name is None:
+            self.scheduler_name = other.scheduler_name
+        elif other.scheduler_name != self.scheduler_name:
+            raise ValueError(
+                "cannot aggregate results from different schedulers: "
+                f"{sorted({self.scheduler_name, other.scheduler_name})}"
+            )
+        self.n_sessions += other.n_sessions
+        self.n_events += other.n_events
+        self.violations += other.violations
+        self.total_latency_ms += other.total_latency_ms
+        self.total_energy_mj += other.total_energy_mj
+        self.wasted_energy_mj += other.wasted_energy_mj
+        self.wasted_time_ms += other.wasted_time_ms
+        self.mispredictions += other.mispredictions
+        self.commits += other.commits
+
+    def finalize(self) -> AggregateMetrics:
+        if self.scheduler_name is None or self.n_sessions == 0:
+            raise ValueError("cannot aggregate an empty result list")
+        return AggregateMetrics(
+            scheduler_name=self.scheduler_name,
+            n_sessions=self.n_sessions,
+            n_events=self.n_events,
+            total_energy_mj=self.total_energy_mj,
+            qos_violation_rate=(self.violations / self.n_events) if self.n_events else 0.0,
+            mean_latency_ms=(self.total_latency_ms / self.n_events) if self.n_events else 0.0,
+            wasted_energy_mj=self.wasted_energy_mj,
+            wasted_time_ms=self.wasted_time_ms,
+            mispredictions=self.mispredictions,
+            commits=self.commits,
+        )
+
+
+@dataclass
+class StreamingSweepAggregator:
+    """Streaming overall + per-application aggregation for one scheme."""
+
+    overall: StreamingAggregator = field(default_factory=StreamingAggregator)
+    per_app: dict[str, StreamingAggregator] = field(default_factory=dict)
+
+    def add(self, result: SessionResult) -> None:
+        self.overall.add(result)
+        self.per_app.setdefault(result.app_name, StreamingAggregator()).add(result)
+
+    def finalize(self) -> AggregateMetrics:
+        return self.overall.finalize()
+
+    def finalize_per_app(self) -> dict[str, AggregateMetrics]:
+        return {app: agg.finalize() for app, agg in self.per_app.items()}
+
+
 def aggregate_results(results: Iterable[SessionResult]) -> AggregateMetrics:
     """Aggregate sessions replayed under the same scheduler."""
-    results = list(results)
-    if not results:
-        raise ValueError("cannot aggregate an empty result list")
-    names = {r.scheduler_name for r in results}
-    if len(names) != 1:
-        raise ValueError(f"cannot aggregate results from different schedulers: {sorted(names)}")
-    total_events = sum(r.n_events for r in results)
-    total_violations = sum(r.violations for r in results)
-    total_latency = sum(o.latency_ms for r in results for o in r.outcomes)
-    return AggregateMetrics(
-        scheduler_name=results[0].scheduler_name,
-        n_sessions=len(results),
-        n_events=total_events,
-        total_energy_mj=sum(r.total_energy_mj for r in results),
-        qos_violation_rate=(total_violations / total_events) if total_events else 0.0,
-        mean_latency_ms=(total_latency / total_events) if total_events else 0.0,
-        wasted_energy_mj=sum(r.wasted_energy_mj for r in results),
-        wasted_time_ms=sum(r.wasted_time_ms for r in results),
-        mispredictions=sum(r.mispredictions for r in results),
-        commits=sum(r.commits for r in results),
-    )
+    aggregator = StreamingAggregator()
+    for result in results:
+        aggregator.add(result)
+    return aggregator.finalize()
 
 
 def normalised_energy(

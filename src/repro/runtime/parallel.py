@@ -1,0 +1,285 @@
+"""Parallel batched evaluation engine: multi-process scheme sweeps.
+
+A full paper evaluation replays every (scheme x trace) pair, and each replay
+is independent — exactly the embarrassingly parallel shape a process pool
+exploits.  :class:`ParallelEvaluator` fans those jobs out over a
+``multiprocessing`` pool:
+
+* **Worker-local simulator reuse** — each worker process builds one
+  :class:`~repro.runtime.simulator.Simulator` in its pool initializer and
+  keeps it for its whole life, so the hardware model, the per-scheme
+  baseline schedulers, and the per-app PES schedulers are constructed once
+  per worker, not once per job.  The trained learner is shipped to each
+  worker once (via the initializer), not pickled per job.
+* **Chunked work stealing** — jobs are pulled from a shared queue in small
+  chunks (``imap_unordered``), so a worker that drew short sessions steals
+  the next chunk instead of idling behind a worker stuck on a long one.
+* **Deterministic ordering** — every job carries its index; results are
+  re-sequenced as they arrive, so the output (and every floating-point
+  aggregate fold) is independent of worker count and completion order.
+* **Streaming aggregation** — per-scheme overall and per-app
+  :class:`~repro.runtime.metrics.AggregateMetrics` are folded incrementally
+  (in job order) as workers deliver results; with ``keep_results=False`` a
+  sweep over thousands of sessions never materialises the full
+  ``SessionResult`` lists.
+* **Serial fallback** — ``jobs=1`` bypasses the pool entirely and delegates
+  to :meth:`Simulator.run_scheme`, producing byte-identical output to the
+  plain serial sweep.  Because every replay is deterministic, ``jobs>1``
+  produces bit-identical ``SessionResult`` objects as well; only wall-clock
+  changes.
+
+Running evaluations in parallel
+-------------------------------
+
+Route any sweep through the ``jobs`` knob::
+
+    simulator.compare(traces, schemes, learner=learner, jobs=4)
+
+or from the command line::
+
+    python -m repro evaluate --apps cnn google --schemes Interactive EBS --jobs 4
+    python -m repro bench --jobs 4     # writes results/BENCH_parallel.json
+
+``python -m repro bench`` records the serial-vs-parallel speedup (plus the
+machine's CPU count) in ``results/BENCH_parallel.json``; expect ~linear
+scaling up to the physical core count and ~1x on single-core containers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.pes import PesConfig
+from repro.core.predictor.sequence_learner import EventSequenceLearner
+from repro.runtime.metrics import (
+    AggregateMetrics,
+    SessionResult,
+    StreamingSweepAggregator,
+)
+from repro.runtime.simulator import KNOWN_SCHEMES, SimulationSetup, Simulator
+from repro.traces.trace import Trace, TraceSet
+from repro.utils import mp_context, pool_chunk_size, resolve_jobs
+from repro.webapp.apps import AppCatalog
+
+__all__ = [
+    "EvaluationOutcome",
+    "ParallelEvaluator",
+    "SchemeAggregates",
+    "resolve_jobs",
+]
+
+
+@dataclass(frozen=True)
+class SchemeAggregates:
+    """Streamed aggregates of one scheme's sweep."""
+
+    overall: AggregateMetrics
+    per_app: dict[str, AggregateMetrics]
+
+
+@dataclass
+class EvaluationOutcome:
+    """Everything a batched sweep produces.
+
+    ``results`` preserves the :meth:`Simulator.compare` shape (scheme ->
+    sessions in trace order); it is ``None`` when the sweep ran with
+    ``keep_results=False`` and only the streamed aggregates were retained.
+    """
+
+    aggregates: dict[str, SchemeAggregates]
+    results: dict[str, list[SessionResult]] | None = None
+
+
+# -- worker side --------------------------------------------------------------------
+#
+# Pool workers keep one Simulator for their whole life.  The initializer runs
+# once per worker process; _run_jobs then serves every chunk the worker steals.
+
+_WORKER: _WorkerContext | None = None
+
+
+@dataclass
+class _WorkerContext:
+    simulator: Simulator
+    learner: EventSequenceLearner | None
+    pes_config: PesConfig | None
+
+
+def _init_worker(
+    setup: SimulationSetup,
+    catalog: AppCatalog,
+    learner: EventSequenceLearner | None,
+    pes_config: PesConfig | None,
+) -> None:
+    global _WORKER
+    _WORKER = _WorkerContext(
+        simulator=Simulator(setup=setup, catalog=catalog),
+        learner=learner,
+        pes_config=pes_config,
+    )
+
+
+def _run_job(job: tuple[int, str, Trace]) -> tuple[int, SessionResult]:
+    """Replay one (scheme, trace) pair on the worker-local simulator."""
+    assert _WORKER is not None, "worker pool was not initialised"
+    index, scheme, trace = job
+    result = _WORKER.simulator.run_scheme(
+        [trace], scheme, learner=_WORKER.learner, pes_config=_WORKER.pes_config
+    )[0]
+    return index, result
+
+
+# -- driver side --------------------------------------------------------------------
+
+
+@dataclass
+class ParallelEvaluator:
+    """Fans (scheme x trace) replay jobs out over a process pool."""
+
+    setup: SimulationSetup = field(default_factory=SimulationSetup)
+    catalog: AppCatalog = field(default_factory=AppCatalog)
+    jobs: int | None = None
+    #: Jobs per pool task; ``None`` lets :func:`repro.utils.pool_chunk_size`
+    #: pick one that gives each worker several chunks to steal.
+    chunk_size: int | None = None
+
+    def __post_init__(self) -> None:
+        self._jobs = resolve_jobs(self.jobs)
+
+    # -- public API ------------------------------------------------------------
+
+    def compare(
+        self,
+        traces: TraceSet | Sequence[Trace],
+        schemes: Sequence[str],
+        *,
+        learner: EventSequenceLearner | None = None,
+        pes_config: PesConfig | None = None,
+    ) -> dict[str, list[SessionResult]]:
+        """Drop-in parallel :meth:`Simulator.compare`."""
+        outcome = self.evaluate(
+            traces, schemes, learner=learner, pes_config=pes_config, keep_results=True
+        )
+        assert outcome.results is not None
+        return outcome.results
+
+    def evaluate(
+        self,
+        traces: TraceSet | Sequence[Trace],
+        schemes: Sequence[str],
+        *,
+        learner: EventSequenceLearner | None = None,
+        pes_config: PesConfig | None = None,
+        keep_results: bool = True,
+    ) -> EvaluationOutcome:
+        """Replay every trace under every scheme, aggregating as results arrive."""
+        trace_list = list(traces)
+        scheme_list = list(schemes)
+        unknown = [scheme for scheme in scheme_list if scheme not in KNOWN_SCHEMES]
+        if unknown:
+            # Reject on the driver side: a bad name surfacing from a worker
+            # would otherwise drain the whole queued sweep first.
+            raise ValueError(f"unknown scheme {unknown[0]!r}")
+        if "PES" in scheme_list and learner is None:
+            raise ValueError("running PES requires a trained learner")
+        n_traces = len(trace_list)
+        n_jobs = n_traces * len(scheme_list)
+        sweeps = {scheme: StreamingSweepAggregator() for scheme in scheme_list}
+        ordered: list[SessionResult | None] = [None] * n_jobs if keep_results else []
+
+        if n_jobs == 0:
+            results = {scheme: [] for scheme in scheme_list} if keep_results else None
+            return EvaluationOutcome(aggregates={}, results=results)
+
+        workers = min(self._jobs, n_jobs)
+        if workers <= 1:
+            self._run_serial(trace_list, scheme_list, learner, pes_config, sweeps, ordered)
+        else:
+            self._run_parallel(
+                trace_list, scheme_list, learner, pes_config, sweeps, ordered, workers
+            )
+
+        aggregates = {
+            scheme: SchemeAggregates(
+                overall=sweep.finalize(), per_app=sweep.finalize_per_app()
+            )
+            for scheme, sweep in sweeps.items()
+            if sweep.overall.n_sessions
+        }
+        results: dict[str, list[SessionResult]] | None = None
+        if keep_results:
+            results = {
+                scheme: ordered[position * n_traces : (position + 1) * n_traces]  # type: ignore[misc]
+                for position, scheme in enumerate(scheme_list)
+            }
+        return EvaluationOutcome(aggregates=aggregates, results=results)
+
+    # -- execution strategies -----------------------------------------------------
+
+    def _run_serial(
+        self,
+        traces: list[Trace],
+        schemes: list[str],
+        learner: EventSequenceLearner | None,
+        pes_config: PesConfig | None,
+        sweeps: dict[str, StreamingSweepAggregator],
+        ordered: list[SessionResult | None],
+    ) -> None:
+        """The ``jobs=1`` fallback: one in-process sweep per scheme."""
+        simulator = Simulator(setup=self.setup, catalog=self.catalog)
+        for position, scheme in enumerate(schemes):
+            results = simulator.run_scheme(
+                traces, scheme, learner=learner, pes_config=pes_config
+            )
+            for offset, result in enumerate(results):
+                sweeps[scheme].add(result)
+                if ordered:
+                    ordered[position * len(traces) + offset] = result
+
+    def _run_parallel(
+        self,
+        traces: list[Trace],
+        schemes: list[str],
+        learner: EventSequenceLearner | None,
+        pes_config: PesConfig | None,
+        sweeps: dict[str, StreamingSweepAggregator],
+        ordered: list[SessionResult | None],
+        workers: int,
+    ) -> None:
+        n_traces = len(traces)
+        jobs = [
+            (position * n_traces + offset, scheme, trace)
+            for position, scheme in enumerate(schemes)
+            for offset, trace in enumerate(traces)
+        ]
+        chunk = self.chunk_size or pool_chunk_size(len(jobs), workers)
+        pool = mp_context().Pool(
+            processes=workers,
+            initializer=_init_worker,
+            initargs=(self.setup, self.catalog, learner, pes_config),
+        )
+        try:
+            # Results arrive in completion order (work stealing); buffer the
+            # out-of-order tail and fold the contiguous prefix so aggregation
+            # order — hence every floating-point total — matches the serial
+            # sweep exactly.
+            pending: dict[int, SessionResult] = {}
+            next_index = 0
+            for index, result in pool.imap_unordered(_run_job, jobs, chunksize=chunk):
+                pending[index] = result
+                while next_index in pending:
+                    ready = pending.pop(next_index)
+                    sweeps[schemes[next_index // n_traces]].add(ready)
+                    if ordered:
+                        ordered[next_index] = ready
+                    next_index += 1
+        except BaseException:
+            # Don't drain the queued remainder of the sweep just to report a
+            # failure that already happened.
+            pool.terminate()
+            raise
+        else:
+            pool.close()
+        finally:
+            pool.join()

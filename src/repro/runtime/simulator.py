@@ -28,6 +28,17 @@ from repro.traces.trace import Trace, TraceSet
 from repro.webapp.apps import AppCatalog
 from repro.webapp.rendering import RenderingPipeline
 
+#: The reactive baselines, in evaluation-figure order — the single source
+#: for scheme dispatch, ``default_baselines``, and scheme-name validation.
+BASELINE_FACTORIES: dict[str, type[ReactiveScheduler]] = {
+    "Interactive": InteractiveGovernor,
+    "Ondemand": OndemandGovernor,
+    "EBS": EbsScheduler,
+}
+
+#: Every scheme name ``run_scheme``/``compare`` accept.
+KNOWN_SCHEMES: tuple[str, ...] = tuple(BASELINE_FACTORIES) + ("PES", "Oracle")
+
 
 @dataclass
 class SimulationSetup:
@@ -64,13 +75,17 @@ class Simulator:
         self._proactive = ProactiveEngine(config)
         self._oracle = OracleEngine(config)
         #: scheme name -> factory for the reactive baselines.  ``run_scheme``
-        #: builds one scheduler per sweep and relies on ``reset()`` between
+        #: builds one scheduler per scheme and relies on ``reset()`` between
         #: traces instead of re-dispatching and reconstructing per trace.
-        self._baseline_factories: dict[str, type[ReactiveScheduler]] = {
-            "Interactive": InteractiveGovernor,
-            "Ondemand": OndemandGovernor,
-            "EBS": EbsScheduler,
-        }
+        self._baseline_factories = dict(BASELINE_FACTORIES)
+        #: scheme name -> scheduler reused across sweeps (``ReactiveEngine.run``
+        #: resets it before every replay, so reuse is result-identical).
+        self._baseline_cache: dict[str, ReactiveScheduler] = {}
+        #: app name -> (learner, config, scheduler): a PES sweep reuses one
+        #: scheduler per application the way the reactive baselines reuse
+        #: theirs; ``PesScheduler.reset`` (called by the engine before every
+        #: replay) restores a reused instance to freshly-constructed state.
+        self._pes_cache: dict[str, tuple[EventSequenceLearner, PesConfig | None, PesScheduler]] = {}
 
     # -- single-trace runs ---------------------------------------------------------
 
@@ -83,15 +98,29 @@ class Simulator:
         learner: EventSequenceLearner,
         pes_config: PesConfig | None = None,
     ) -> SessionResult:
-        profile = self.catalog.get(trace.app_name)
-        pes = PesScheduler.create(
+        pes = self._pes_scheduler(trace.app_name, learner, pes_config)
+        return self._proactive.run(trace, pes)
+
+    def _pes_scheduler(
+        self,
+        app_name: str,
+        learner: EventSequenceLearner,
+        pes_config: PesConfig | None,
+    ) -> PesScheduler:
+        cached = self._pes_cache.get(app_name)
+        if cached is not None:
+            cached_learner, cached_config, scheduler = cached
+            if cached_learner is learner and cached_config == pes_config:
+                return scheduler
+        scheduler = PesScheduler.create(
             learner=learner,
-            profile=profile,
+            profile=self.catalog.get(app_name),
             system=self.setup.system,
             power_table=self.setup.power_table,
             config=pes_config,
         )
-        return self._proactive.run(trace, pes)
+        self._pes_cache[app_name] = (learner, pes_config, scheduler)
+        return scheduler
 
     def run_oracle(self, trace: Trace, oracle: OracleScheduler | None = None) -> SessionResult:
         return self._oracle.run(trace, oracle)
@@ -99,7 +128,7 @@ class Simulator:
     # -- scheme sweeps --------------------------------------------------------------
 
     def default_baselines(self) -> list[ReactiveScheduler]:
-        return [InteractiveGovernor(), EbsScheduler()]
+        return [factory() for factory in self._baseline_factories.values()]
 
     def run_scheme(
         self,
@@ -118,7 +147,10 @@ class Simulator:
         """
         factory = self._baseline_factories.get(scheme)
         if factory is not None:
-            scheduler = factory()
+            scheduler = self._baseline_cache.get(scheme)
+            if scheduler is None:
+                scheduler = factory()
+                self._baseline_cache[scheme] = scheduler
             return [self.run_reactive(trace, scheduler) for trace in traces]
         if scheme == "PES":
             if learner is None:
@@ -135,8 +167,23 @@ class Simulator:
         *,
         learner: EventSequenceLearner | None = None,
         pes_config: PesConfig | None = None,
+        jobs: int = 1,
+        chunk_size: int | None = None,
     ) -> dict[str, list[SessionResult]]:
-        """Replay the same traces under several schemes."""
+        """Replay the same traces under several schemes.
+
+        ``jobs`` fans the (scheme x trace) pairs out over a process pool
+        (see :mod:`repro.runtime.parallel`); every replay is deterministic,
+        so any ``jobs`` value produces identical results — ``jobs=1`` simply
+        runs the sweep in-process.
+        """
+        if jobs != 1:
+            from repro.runtime.parallel import ParallelEvaluator
+
+            evaluator = ParallelEvaluator(
+                setup=self.setup, catalog=self.catalog, jobs=jobs, chunk_size=chunk_size
+            )
+            return evaluator.compare(traces, schemes, learner=learner, pes_config=pes_config)
         return {
             scheme: self.run_scheme(traces, scheme, learner=learner, pes_config=pes_config)
             for scheme in schemes

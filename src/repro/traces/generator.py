@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.hardware.dvfs import DvfsModel
 from repro.traces.session_state import SessionState
+from repro.utils import mp_context, pool_chunk_size, resolve_jobs
 from repro.traces.trace import Trace, TraceEvent, TraceSet
 from repro.traces.workload import WorkloadModel
 from repro.webapp.apps import AppCatalog, AppProfile
@@ -143,6 +144,22 @@ class UserBehaviorModel:
         return alternatives[int(rng.integers(len(alternatives)))]
 
 
+def substream_seeds(base_seed: int, count: int) -> list[int]:
+    """Derive ``count`` independent per-trace seeds from one base seed.
+
+    Uses :class:`numpy.random.SeedSequence.spawn` so the derived streams are
+    statistically independent, and folds each child into a plain integer
+    seed so the trace it produces is reproducible from ``Trace.seed`` alone.
+    Because the spawn happens up front (indexed by trace position, not by
+    worker), parallel generation yields the same traces for any worker
+    count.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    children = np.random.SeedSequence(base_seed).spawn(count)
+    return [int(child.generate_state(1, np.uint64)[0]) for child in children]
+
+
 @dataclass
 class TraceGenerator:
     """Generates interaction sessions for the benchmark applications."""
@@ -199,14 +216,81 @@ class TraceGenerator:
         traces_per_app: int,
         *,
         base_seed: int = 0,
+        independent_streams: bool = False,
     ) -> TraceSet:
-        """Generate ``traces_per_app`` sessions for each named application."""
+        """Generate ``traces_per_app`` sessions for each named application.
+
+        With ``independent_streams`` the per-trace seeds are derived through
+        :func:`substream_seeds` (``SeedSequence.spawn``) instead of the
+        legacy ``base_seed + app_index * 1000 + t`` arithmetic; this is the
+        seeding used for parallel generation and for sweeps large enough
+        that the arithmetic seeds of adjacent apps would collide.
+        """
+        specs = self._trace_specs(
+            app_names, traces_per_app, base_seed, independent_streams
+        )
         traces = TraceSet()
-        for app_index, app_name in enumerate(app_names):
-            for t in range(traces_per_app):
-                seed = base_seed + app_index * 1000 + t
-                traces.add(self.generate(app_name, seed=seed))
+        for app_name, seed in specs:
+            traces.add(self.generate(app_name, seed=seed))
         return traces
+
+    def generate_many_parallel(
+        self,
+        app_names: Sequence[str],
+        traces_per_app: int,
+        *,
+        base_seed: int = 0,
+        jobs: int | None = 1,
+        chunk_size: int | None = None,
+    ) -> TraceSet:
+        """Parallel :meth:`generate_many` over a process pool.
+
+        Always uses :func:`substream_seeds`, so the result is identical for
+        any ``jobs`` value — each trace's seed is fixed by its position
+        before any worker starts.  ``jobs=0`` (or ``None``) means one
+        worker per CPU.
+        """
+        specs = self._trace_specs(app_names, traces_per_app, base_seed, True)
+        workers = min(resolve_jobs(jobs), max(len(specs), 1))
+        if workers == 1 or len(specs) <= 1:
+            traces = TraceSet()
+            for app_name, seed in specs:
+                traces.add(self.generate(app_name, seed=seed))
+            return traces
+
+        chunk = chunk_size or pool_chunk_size(len(specs), workers)
+        pool = mp_context().Pool(
+            processes=workers, initializer=_init_generation_worker, initargs=(self,)
+        )
+        try:
+            generated = pool.map(_generate_one, specs, chunksize=chunk)
+        finally:
+            pool.close()
+            pool.join()
+        traces = TraceSet()
+        traces.extend(generated)
+        return traces
+
+    def _trace_specs(
+        self,
+        app_names: Sequence[str],
+        traces_per_app: int,
+        base_seed: int,
+        independent_streams: bool,
+    ) -> list[tuple[str, int]]:
+        """The (app, seed) list for a batch, in deterministic order."""
+        if independent_streams:
+            seeds = substream_seeds(base_seed, len(app_names) * traces_per_app)
+            return [
+                (app_name, seeds[app_index * traces_per_app + t])
+                for app_index, app_name in enumerate(app_names)
+                for t in range(traces_per_app)
+            ]
+        return [
+            (app_name, base_seed + app_index * 1000 + t)
+            for app_index, app_name in enumerate(app_names)
+            for t in range(traces_per_app)
+        ]
 
     # -- internals ---------------------------------------------------------------
 
@@ -293,3 +377,19 @@ class TraceGenerator:
 
         think = float(rng.lognormal(np.log(median), cfg.think_sigma))
         return max(cfg.min_gap_ms, think)
+
+
+# -- generation pool workers ----------------------------------------------------------
+
+_GENERATION_WORKER: TraceGenerator | None = None
+
+
+def _init_generation_worker(generator: TraceGenerator) -> None:
+    global _GENERATION_WORKER
+    _GENERATION_WORKER = generator
+
+
+def _generate_one(spec: tuple[str, int]) -> Trace:
+    assert _GENERATION_WORKER is not None, "generation pool was not initialised"
+    app_name, seed = spec
+    return _GENERATION_WORKER.generate(app_name, seed=seed)

@@ -3,6 +3,38 @@
 from __future__ import annotations
 
 import hashlib
+import os
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalise a worker-count request: ``None``/``0`` means one per CPU."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError("jobs must be a positive integer (or None for one per CPU)")
+    return jobs
+
+
+def mp_context():
+    """The multiprocessing context every pool in the repo should use.
+
+    Prefers ``fork`` (cheap start-up, workers inherit the imported package
+    and warm caches); falls back to the platform default where fork is
+    unavailable.
+    """
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def pool_chunk_size(n_items: int, workers: int, chunks_per_worker: int = 8) -> int:
+    """Chunk size giving each worker ~``chunks_per_worker`` chunks to steal.
+
+    More chunks = finer work stealing (better load balance); fewer chunks =
+    less IPC overhead.
+    """
+    return max(1, n_items // (workers * chunks_per_worker))
 
 
 def stable_seed(*parts: object) -> int:

@@ -93,6 +93,74 @@ class TestOneVsRest:
             OneVsRestLogistic(n_classes=1)
 
 
+class TestVectorisedOneVsRest:
+    """The stacked-weight-matrix path must match the per-model Python loop."""
+
+    def test_raw_proba_matches_per_model_loop(self):
+        X, y = three_class_problem()
+        model = OneVsRestLogistic(n_classes=3).fit(X, y)
+        vectorised = model.raw_proba(X)
+        looped = np.stack([m.predict_proba(X) for m in model.models], axis=1)
+        assert np.allclose(vectorised, looped, rtol=1e-12, atol=1e-15)
+
+    def test_predict_proba_matches_per_model_loop(self):
+        X, y = three_class_problem()
+        model = OneVsRestLogistic(n_classes=3).fit(X, y)
+        mask = np.array([True, False, True])
+        vectorised = model.predict_proba(X, mask)
+        looped = np.stack([m.predict_proba(X) for m in model.models], axis=1) * mask
+        looped = looped / looped.sum(axis=1, keepdims=True)
+        assert np.allclose(vectorised, looped, rtol=1e-12, atol=1e-15)
+
+    def test_weight_matrix_rebuilt_after_refit(self):
+        X, y = three_class_problem()
+        model = OneVsRestLogistic(n_classes=3).fit(X, y)
+        before = model.raw_proba(X[:5])
+        model.fit(X[:300], y[:300])
+        after = model.raw_proba(X[:5])
+        assert not np.allclose(before, after)
+        looped = np.stack([m.predict_proba(X[:5]) for m in model.models], axis=1)
+        assert np.allclose(after, looped, rtol=1e-12, atol=1e-15)
+
+
+class TestPerRowMasks:
+    """2-D masks score a whole batch with per-row class restrictions."""
+
+    @pytest.mark.parametrize("model_factory", [
+        lambda: OneVsRestLogistic(n_classes=3),
+        lambda: SoftmaxRegression(n_classes=3),
+    ])
+    def test_matches_row_by_row_1d_masks(self, model_factory):
+        X, y = three_class_problem()
+        model = model_factory().fit(X, y)
+        rng = np.random.default_rng(7)
+        masks = rng.random((10, 3)) > 0.4
+        masks[~masks.any(axis=1), 0] = True  # every row keeps >= 1 class
+        batched = model.predict_proba(X[:10], masks)
+        rows = np.vstack([model.predict_proba(X[i : i + 1], masks[i]) for i in range(10)])
+        assert np.allclose(batched, rows, rtol=1e-12, atol=1e-15)
+
+    def test_rejects_wrong_row_count(self):
+        X, y = three_class_problem()
+        model = OneVsRestLogistic(n_classes=3).fit(X, y)
+        with pytest.raises(ValueError):
+            model.predict_proba(X[:5], np.ones((4, 3), dtype=bool))
+
+    def test_rejects_row_removing_every_class(self):
+        X, y = three_class_problem()
+        model = SoftmaxRegression(n_classes=3).fit(X, y)
+        masks = np.ones((3, 3), dtype=bool)
+        masks[1] = False
+        with pytest.raises(ValueError):
+            model.predict_proba(X[:3], masks)
+
+    def test_rejects_3d_mask(self):
+        X, y = three_class_problem()
+        model = OneVsRestLogistic(n_classes=3).fit(X, y)
+        with pytest.raises(ValueError):
+            model.predict_proba(X[:2], np.ones((2, 3, 1), dtype=bool))
+
+
 class TestSoftmax:
     def test_recovers_argmax_partition(self):
         X, y = three_class_problem()

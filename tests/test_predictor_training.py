@@ -60,6 +60,29 @@ class TestAccuracy:
         accuracy = evaluate_accuracy(learner, evaluation, catalog)
         assert np.mean(list(accuracy.values())) > 0.6
 
+    def test_batched_accuracy_matches_per_event_prediction(self, learner, catalog, generator):
+        """The one-matmul-per-trace evaluation equals the per-event loop."""
+        from repro.core.predictor.dom_analysis import DomAnalyzer
+        from repro.traces.session_state import SessionState
+
+        evaluation = generator.generate_many(["cnn", "google"], 1, base_seed=9_300)
+        batched = evaluate_accuracy(learner, evaluation, catalog)
+
+        analyzer = DomAnalyzer(encoder=learner.encoder)
+        correct: dict[str, int] = {}
+        total: dict[str, int] = {}
+        for trace in evaluation:
+            state = SessionState.fresh(catalog.get(trace.app_name))
+            for position, event in enumerate(trace):
+                if position > 0:
+                    predicted, _ = learner.predict_next(state, mask=analyzer.lnes_mask(state))
+                    total[trace.app_name] = total.get(trace.app_name, 0) + 1
+                    if predicted == event.event_type:
+                        correct[trace.app_name] = correct.get(trace.app_name, 0) + 1
+                state.apply_event(event.event_type, event.node_id, navigates=event.navigates)
+        sequential = {app: correct.get(app, 0) / count for app, count in total.items()}
+        assert batched == sequential
+
     def test_dom_analysis_improves_accuracy(self, learner, catalog, generator):
         """Sec. 6.5: removing the DOM analysis costs several accuracy points."""
         evaluation = generator.generate_many(["cnn", "amazon", "google", "ebay"], 1, base_seed=9_200)

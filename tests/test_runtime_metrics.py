@@ -6,6 +6,8 @@ from repro.runtime.metrics import (
     AggregateMetrics,
     EventOutcome,
     SessionResult,
+    StreamingAggregator,
+    StreamingSweepAggregator,
     aggregate_results,
     group_by_app,
     normalised_energy,
@@ -107,3 +109,72 @@ class TestAggregation:
         grouped = group_by_app(results)
         assert list(grouped) == ["cnn", "bbc"]
         assert len(grouped["cnn"]) == 2
+
+
+class TestStreamingAggregation:
+    def sessions(self) -> list[SessionResult]:
+        return [
+            SessionResult(
+                "cnn",
+                "EBS",
+                [outcome(0, 100.0 + i, 300.0), outcome(1, 400.0 - i, 300.0)],
+                idle_energy_mj=10.0 * (i + 1),
+                wasted_energy_mj=1.5 * i,
+                wasted_time_ms=2.0 * i,
+                mispredictions=i,
+                commits=2 * i,
+            )
+            for i in range(5)
+        ]
+
+    def test_incremental_fold_is_exact(self):
+        """Folding one session at a time gives the exact floats of the batch fold."""
+        results = self.sessions()
+        aggregator = StreamingAggregator()
+        for result in results:
+            aggregator.add(result)
+        assert aggregator.finalize() == aggregate_results(results)
+
+    def test_merge_combines_partial_folds(self):
+        results = self.sessions()
+        left, right = StreamingAggregator(), StreamingAggregator()
+        for result in results[:2]:
+            left.add(result)
+        for result in results[2:]:
+            right.add(result)
+        left.merge(right)
+        merged = left.finalize()
+        full = aggregate_results(results)
+        assert merged.n_sessions == full.n_sessions
+        assert merged.n_events == full.n_events
+        assert merged.total_energy_mj == pytest.approx(full.total_energy_mj)
+        assert merged.qos_violation_rate == pytest.approx(full.qos_violation_rate)
+
+    def test_rejects_mixed_schedulers(self):
+        aggregator = StreamingAggregator()
+        aggregator.add(SessionResult("cnn", "EBS"))
+        with pytest.raises(ValueError):
+            aggregator.add(SessionResult("cnn", "PES"))
+
+    def test_merge_rejects_mixed_schedulers(self):
+        a, b = StreamingAggregator(), StreamingAggregator()
+        a.add(SessionResult("cnn", "EBS"))
+        b.add(SessionResult("cnn", "PES"))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_empty_finalize_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingAggregator().finalize()
+
+    def test_sweep_aggregator_groups_per_app(self):
+        sweep = StreamingSweepAggregator()
+        cnn = SessionResult("cnn", "EBS", [outcome(0, 100.0, 300.0)])
+        bbc = SessionResult("bbc", "EBS", [outcome(0, 400.0, 300.0)])
+        for result in (cnn, bbc, cnn):
+            sweep.add(result)
+        assert sweep.finalize().n_sessions == 3
+        per_app = sweep.finalize_per_app()
+        assert set(per_app) == {"cnn", "bbc"}
+        assert per_app["cnn"] == aggregate_results([cnn, cnn])
+        assert per_app["bbc"] == aggregate_results([bbc])

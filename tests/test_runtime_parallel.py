@@ -1,0 +1,95 @@
+"""Parallel-vs-serial equivalence tests for the batched evaluation engine.
+
+Every trace replay is deterministic, so fanning the (scheme x trace) jobs
+out over worker processes must produce *bit-identical* ``SessionResult``
+objects and aggregates — these tests pin that contract for all five
+schemes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.metrics import aggregate_results
+from repro.runtime.parallel import ParallelEvaluator, resolve_jobs
+from repro.runtime.simulator import Simulator
+
+ALL_SCHEMES = ["Interactive", "Ondemand", "EBS", "PES", "Oracle"]
+
+
+@pytest.fixture(scope="module")
+def eval_traces(generator):
+    """A small multi-app sweep: two apps, two sessions each, 10 events."""
+    traces = [
+        generator.generate("cnn", seed=301),
+        generator.generate("cnn", seed=302),
+        generator.generate("google", seed=303),
+        generator.generate("ebay", seed=304),
+    ]
+    return [t.slice(0, 10) for t in traces]
+
+
+@pytest.fixture(scope="module")
+def serial_results(simulator, eval_traces, learner):
+    return simulator.compare(eval_traces, ALL_SCHEMES, learner=learner, jobs=1)
+
+
+class TestParallelEquivalence:
+    def test_parallel_matches_serial_for_all_schemes(
+        self, simulator, eval_traces, learner, serial_results
+    ):
+        parallel = simulator.compare(eval_traces, ALL_SCHEMES, learner=learner, jobs=4)
+        assert set(parallel) == set(serial_results)
+        for scheme in ALL_SCHEMES:
+            assert parallel[scheme] == serial_results[scheme], (
+                f"{scheme}: parallel replay diverged from serial"
+            )
+
+    def test_aggregates_match_serial_fold(self, setup, catalog, eval_traces, learner, serial_results):
+        evaluator = ParallelEvaluator(setup=setup, catalog=catalog, jobs=3)
+        outcome = evaluator.evaluate(
+            eval_traces, ALL_SCHEMES, learner=learner, keep_results=False
+        )
+        assert outcome.results is None
+        for scheme in ALL_SCHEMES:
+            expected = aggregate_results(serial_results[scheme])
+            assert outcome.aggregates[scheme].overall == expected
+
+    def test_streaming_per_app_matches_grouped_aggregation(
+        self, setup, catalog, eval_traces, serial_results
+    ):
+        evaluator = ParallelEvaluator(setup=setup, catalog=catalog, jobs=2)
+        outcome = evaluator.evaluate(eval_traces, ["EBS"], keep_results=False)
+        expected = Simulator.aggregate_per_app(serial_results["EBS"])
+        assert outcome.aggregates["EBS"].per_app == expected
+
+    def test_result_ordering_is_trace_order(self, setup, catalog, eval_traces):
+        evaluator = ParallelEvaluator(setup=setup, catalog=catalog, jobs=4, chunk_size=1)
+        results = evaluator.compare(eval_traces, ["Interactive"])
+        apps = [r.app_name for r in results["Interactive"]]
+        assert apps == [t.app_name for t in eval_traces]
+
+
+class TestParallelEvaluatorApi:
+    def test_pes_requires_learner(self, setup, catalog, eval_traces):
+        evaluator = ParallelEvaluator(setup=setup, catalog=catalog, jobs=2)
+        with pytest.raises(ValueError):
+            evaluator.compare(eval_traces, ["PES"])
+
+    def test_empty_sweep(self, setup, catalog):
+        evaluator = ParallelEvaluator(setup=setup, catalog=catalog, jobs=2)
+        outcome = evaluator.evaluate([], ["EBS"], keep_results=True)
+        assert outcome.results == {"EBS": []}
+        assert outcome.aggregates == {}
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) >= 1
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+
+    def test_unknown_scheme_propagates(self, setup, catalog, eval_traces):
+        evaluator = ParallelEvaluator(setup=setup, catalog=catalog, jobs=2)
+        with pytest.raises(ValueError):
+            evaluator.compare(eval_traces, ["Magic"])

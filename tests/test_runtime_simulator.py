@@ -73,3 +73,50 @@ class TestSimulator:
         metrics = Simulator.aggregate_overall(results)
         assert metrics.n_sessions == 1
         assert metrics.n_events == len(small_trace)
+
+    def test_default_baselines_cover_every_reactive_scheme(self, simulator):
+        names = [scheduler.name for scheduler in simulator.default_baselines()]
+        assert names == ["Interactive", "Ondemand", "EBS"]
+
+
+class TestSchedulerReuse:
+    def test_baseline_scheduler_reused_across_sweeps(self, setup, catalog, small_trace):
+        simulator = Simulator(setup=setup, catalog=catalog)
+        first = simulator.run_scheme([small_trace], "EBS")
+        scheduler = simulator._baseline_cache["EBS"]
+        second = simulator.run_scheme([small_trace], "EBS")
+        assert simulator._baseline_cache["EBS"] is scheduler
+        assert first == second
+
+    def test_pes_scheduler_cached_per_app(self, setup, catalog, generator, learner):
+        simulator = Simulator(setup=setup, catalog=catalog)
+        traces = [generator.generate("cnn", seed=41).slice(0, 8),
+                  generator.generate("cnn", seed=42).slice(0, 8)]
+        simulator.run_scheme(traces, "PES", learner=learner)
+        assert set(simulator._pes_cache) == {"cnn"}
+
+    def test_cached_pes_matches_fresh_scheduler_per_trace(
+        self, setup, catalog, generator, learner
+    ):
+        traces = [generator.generate("google", seed=51).slice(0, 8),
+                  generator.generate("google", seed=52).slice(0, 8)]
+        cached = Simulator(setup=setup, catalog=catalog).run_scheme(
+            traces, "PES", learner=learner
+        )
+        fresh = [
+            Simulator(setup=setup, catalog=catalog).run_pes(trace, learner)
+            for trace in traces
+        ]
+        assert cached == fresh
+
+    def test_pes_cache_invalidated_on_new_learner_or_config(
+        self, setup, catalog, small_trace, learner
+    ):
+        from repro.core.pes import PesConfig
+
+        simulator = Simulator(setup=setup, catalog=catalog)
+        simulator.run_pes(small_trace, learner)
+        first = simulator._pes_cache[small_trace.app_name][2]
+        simulator.run_pes(small_trace, learner, PesConfig(confidence_threshold=0.9))
+        second = simulator._pes_cache[small_trace.app_name][2]
+        assert second is not first

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.traces.generator import DEFAULT_BEHAVIOR_WEIGHTS, SessionConfig, TraceGenerator, UserBehaviorModel
+from repro.traces.generator import (
+    DEFAULT_BEHAVIOR_WEIGHTS,
+    SessionConfig,
+    TraceGenerator,
+    UserBehaviorModel,
+    substream_seeds,
+)
 from repro.traces.session_state import SessionState
 from repro.webapp.apps import AppCatalog
 from repro.webapp.events import EventType, Interaction
@@ -111,6 +117,33 @@ class TestGeneratedTraces:
         traces = generator.generate_many(["cnn", "bbc"], 2, base_seed=10)
         assert len(traces) == 4
         assert set(traces.app_names()) == {"cnn", "bbc"}
+
+    def test_substream_seeds_deterministic_and_distinct(self):
+        seeds = substream_seeds(42, 64)
+        assert seeds == substream_seeds(42, 64)
+        assert len(set(seeds)) == 64
+        assert seeds != substream_seeds(43, 64)
+        assert substream_seeds(42, 0) == []
+
+    def test_generate_many_independent_streams_reproducible(self, generator):
+        a = generator.generate_many(["cnn", "bbc"], 2, base_seed=5, independent_streams=True)
+        b = generator.generate_many(["cnn", "bbc"], 2, base_seed=5, independent_streams=True)
+        assert [t.seed for t in a] == [t.seed for t in b]
+        assert [t.event_types for t in a] == [t.event_types for t in b]
+        # Each trace is regenerable from its recorded substream seed alone.
+        first = list(a)[0]
+        regenerated = generator.generate(first.app_name, seed=first.seed)
+        assert regenerated.event_types == first.event_types
+
+    def test_generate_many_parallel_independent_of_worker_count(self, generator):
+        serial = generator.generate_many_parallel(["cnn", "google"], 3, base_seed=11, jobs=1)
+        parallel = generator.generate_many_parallel(["cnn", "google"], 3, base_seed=11, jobs=3)
+        assert len(serial) == len(parallel) == 6
+        for left, right in zip(serial, parallel):
+            assert left.app_name == right.app_name
+            assert left.seed == right.seed
+            assert left.event_types == right.event_types
+            assert [e.arrival_ms for e in left] == [e.arrival_ms for e in right]
 
     def test_move_bursts_exist(self, generator):
         """Consecutive move events with sub-second gaps (the interference
