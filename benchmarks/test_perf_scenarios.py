@@ -1,0 +1,26 @@
+"""Perf bench: wall-clock of the default scenario-matrix sweep.
+
+Marked ``perf`` and deselected from the default pytest run; writes
+``results/BENCH_scenarios.json``.  The assertions guard the matrix shape
+(the acceptance floor of 6 scenarios x 3 schemes) and the artefact schema;
+wall-clock itself is recorded, not asserted — the CI perf job uploads the
+JSON so the trajectory stays comparable across PRs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import bench_scenarios, write_bench_json
+
+
+@pytest.mark.perf
+def test_perf_scenario_matrix_sweep():
+    result = bench_scenarios(jobs=2)
+    path = write_bench_json(result)
+    assert path.exists()
+    assert result.extra is not None
+    assert result.extra["matrix"] == "default"
+    assert result.extra["n_scenarios"] >= 6
+    assert len(result.extra["schemes"]) >= 3
+    assert result.ops_per_sec > 0

@@ -3,7 +3,12 @@
 from repro.analysis.event_types import EventCategory, classify_events, category_distribution
 from repro.analysis.pareto import ParetoPoint, pareto_frontier, dominates
 from repro.analysis.sensitivity import ConfidenceSweepResult, sweep_confidence_threshold
-from repro.analysis.reporting import format_table, format_percentage_map
+from repro.analysis.reporting import (
+    format_table,
+    format_percentage_map,
+    scenario_energy_table,
+    scenario_qos_table,
+)
 
 __all__ = [
     "EventCategory",
@@ -16,4 +21,6 @@ __all__ = [
     "sweep_confidence_threshold",
     "format_table",
     "format_percentage_map",
+    "scenario_energy_table",
+    "scenario_qos_table",
 ]

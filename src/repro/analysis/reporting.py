@@ -1,14 +1,18 @@
-"""Plain-text reporting helpers for the benchmark harness.
+"""Plain-text reporting helpers for the benchmark and scenario harnesses.
 
 The benchmark modules print the rows/series of each paper figure; these
 helpers keep that formatting uniform (fixed-width columns, percentages with
 one decimal) so the regenerated artefacts are easy to diff against
-EXPERIMENTS.md.
+EXPERIMENTS.md.  The scenario-matrix subcommand reuses the same table
+renderer through :func:`scenario_energy_table` / :func:`scenario_qos_table`,
+which turn per-scenario per-scheme aggregates into one row per scenario.
 """
 
 from __future__ import annotations
 
 from typing import Mapping, Sequence
+
+from repro.runtime.metrics import AggregateMetrics
 
 
 def format_percentage(value: float, *, decimals: int = 1) -> str:
@@ -49,3 +53,56 @@ def _render_cell(cell: object) -> str:
     if isinstance(cell, float):
         return f"{cell:.3f}"
     return str(cell)
+
+
+def _scheme_columns(rows: Mapping[str, Mapping[str, AggregateMetrics]]) -> list[str]:
+    """Scheme names across all scenarios, in first-appearance order."""
+    schemes: list[str] = []
+    for per_scheme in rows.values():
+        for scheme in per_scheme:
+            if scheme not in schemes:
+                schemes.append(scheme)
+    return schemes
+
+
+def scenario_energy_table(
+    rows: Mapping[str, Mapping[str, AggregateMetrics]],
+    *,
+    baseline: str | None = None,
+) -> str:
+    """Per-scenario energy of every scheme relative to the baseline scheme.
+
+    ``rows`` maps scenario name -> scheme -> aggregate metrics.  The
+    baseline defaults to each scenario's first scheme; a scenario whose
+    baseline energy is not positive renders ``n/a`` instead of dividing.
+    """
+    schemes = _scheme_columns(rows)
+    table_rows: list[list[object]] = []
+    for scenario, per_scheme in rows.items():
+        base_scheme = baseline if baseline is not None else next(iter(per_scheme))
+        base = per_scheme.get(base_scheme)
+        base_energy = base.total_energy_mj if base is not None else 0.0
+        cells: list[object] = [scenario]
+        for scheme in schemes:
+            metrics = per_scheme.get(scheme)
+            if metrics is None or base_energy <= 0:
+                cells.append("n/a")
+            else:
+                cells.append(format_percentage(metrics.total_energy_mj / base_energy))
+        table_rows.append(cells)
+    return format_table(["scenario"] + [f"{s} energy" for s in schemes], table_rows, min_width=10)
+
+
+def scenario_qos_table(rows: Mapping[str, Mapping[str, AggregateMetrics]]) -> str:
+    """Per-scenario QoS violation rate of every scheme."""
+    schemes = _scheme_columns(rows)
+    table_rows: list[list[object]] = []
+    for scenario, per_scheme in rows.items():
+        cells: list[object] = [scenario]
+        for scheme in schemes:
+            metrics = per_scheme.get(scheme)
+            cells.append(
+                format_percentage(metrics.qos_violation_rate) if metrics is not None else "n/a"
+            )
+        table_rows.append(cells)
+    return format_table(["scenario"] + [f"{s} QoS viol." for s in schemes], table_rows, min_width=10)

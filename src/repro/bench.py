@@ -1,6 +1,6 @@
 """Performance-regression benches for the scheduling hot path.
 
-Three benches anchor the perf trajectory of the repo:
+Four benches anchor the perf trajectory of the repo:
 
 * ``bench_solver`` — micro: :class:`DynamicProgrammingSolver.solve` on the
   profiled 4-app oracle workload (whole-trace windows of ~30-50 events,
@@ -11,6 +11,9 @@ Three benches anchor the perf trajectory of the repo:
   (200+ session) sweep through :class:`repro.runtime.parallel.ParallelEvaluator`,
   recording the speedup, the machine's CPU count, and a bit-identity check
   of the two sweeps.
+* ``bench_scenarios`` — breadth: wall-clock of the ``default`` scenario
+  matrix (``repro.scenarios``) fanned through ``evaluate_matrix``,
+  recording scenario/replay counts so matrix regressions are attributable.
 
 Each bench emits a JSON file under ``results/`` with the schema
 ``{name, ops_per_sec, wall_s, git_rev}`` so future PRs can regress against
@@ -236,11 +239,95 @@ def bench_parallel(
     )
 
 
-def run_all(results_dir: Path | None = None, jobs: int = 4) -> list[Path]:
-    """Run every bench and persist the ``BENCH_*.json`` artefacts."""
+def bench_scenarios(
+    jobs: int = 2,
+    matrix: str = "default",
+    train_traces_per_app: int = 2,
+    quick: bool = False,
+) -> BenchResult:
+    """Wall-clock of a scenario-matrix sweep (ops = scheme x trace replays).
+
+    Runs the named matrix from :mod:`repro.scenarios` through
+    ``evaluate_matrix``.  Predictor training happens *outside* the timed
+    region — the bench tracks the matrix fan-out, not the trainer.  With
+    ``quick`` a tiny two-scenario reactive matrix is used instead, sized
+    for smoke tests (``python -m repro bench --quick``).
+    """
+    import os
+
+    from repro.scenarios import ScenarioMatrix, ScenarioRunner, get_matrix
+    from repro.utils import resolve_jobs
+
+    jobs = resolve_jobs(jobs)
+    if quick:
+        expanded = ScenarioMatrix(
+            name="quick",
+            platforms=("exynos5410",),
+            regimes=("default", "flash_crowd"),
+            app_mixes=("core",),
+            schemes=("Interactive", "EBS"),
+        ).expand()
+        matrix = "quick"
+    else:
+        expanded = get_matrix(matrix).expand()
+    runner = ScenarioRunner(jobs=jobs, train_traces_per_app=train_traces_per_app)
+    learner = (
+        runner.train_learner()
+        if any("PES" in spec.schemes for spec in expanded)
+        else None
+    )
+
+    start = time.perf_counter()
+    results = runner.run(expanded, learner=learner)
+    elapsed = time.perf_counter() - start
+    replays = sum(spec.n_sessions * len(spec.schemes) for spec in expanded)
+    return BenchResult(
+        name="scenarios",
+        ops_per_sec=replays / elapsed,
+        wall_s=elapsed,
+        git_rev=git_rev(),
+        extra={
+            "matrix": matrix,
+            "jobs": jobs,
+            "cpu_count": os.cpu_count(),
+            "n_scenarios": len(results),
+            "n_replays": replays,
+            "schemes": sorted({scheme for spec in expanded for scheme in spec.schemes}),
+        },
+    )
+
+
+#: Bench name -> factory taking the shared (jobs, quick) knobs.
+BENCHES = {
+    "solver": lambda jobs, quick: bench_solver(min_duration_s=0.2 if quick else 3.0),
+    "compare": lambda jobs, quick: bench_compare(repeats=1 if quick else 3),
+    "parallel": lambda jobs, quick: bench_parallel(
+        jobs=jobs,
+        min_sessions=4 if quick else 200,
+        schemes=("Interactive", "Ondemand", "EBS") if quick else ("Interactive", "Ondemand", "EBS", "Oracle"),
+    ),
+    "scenarios": lambda jobs, quick: bench_scenarios(jobs=jobs, quick=quick),
+}
+
+
+def run_all(
+    results_dir: Path | None = None,
+    jobs: int = 4,
+    only: list[str] | None = None,
+    quick: bool = False,
+) -> list[Path]:
+    """Run the benches (all, or the ``only`` subset) and persist ``BENCH_*.json``.
+
+    ``quick`` shrinks every bench to smoke-test size: the artefacts keep
+    their schema but the numbers are *not* comparable with full runs.
+    """
+    names = list(BENCHES) if only is None else list(only)
+    unknown = [name for name in names if name not in BENCHES]
+    if unknown:
+        raise ValueError(f"unknown bench {unknown[0]!r}; available: {', '.join(BENCHES)}")
     paths = []
-    for bench in (bench_solver, bench_compare, lambda: bench_parallel(jobs=jobs)):
-        result = bench()
+    for name in names:
+        result = BENCHES[name](jobs, quick)
         path = write_bench_json(result, results_dir)
         print(f"{result.name}: {result.ops_per_sec:.3f} ops/s over {result.wall_s:.2f}s -> {path}")
         paths.append(path)

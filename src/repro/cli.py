@@ -1,10 +1,12 @@
 """Command-line interface for the PES reproduction.
 
-Four subcommands cover the usual workflow:
+Six subcommands cover the whole workflow:
 
 * ``generate``  — synthesise interaction traces and save them to JSON,
 * ``train``     — train the event predictor and report Fig. 8 accuracy,
 * ``evaluate``  — replay traces under the scheduling schemes (Figs. 11/12),
+* ``scenarios`` — list/run/compare declarative scenario matrices
+  (platform x session regime x app mix sweeps, ``repro.scenarios``),
 * ``platforms`` — list the available hardware platform models,
 * ``bench``     — run the perf-regression benches (writes ``BENCH_*.json``).
 
@@ -13,11 +15,14 @@ Examples::
     python -m repro generate --apps cnn bbc --traces 3 --out traces.json
     python -m repro train --traces-per-app 6
     python -m repro evaluate --apps cnn google --schemes Interactive EBS PES
-    python -m repro bench
+    python -m repro scenarios list
+    python -m repro scenarios run --matrix default --jobs 2
+    python -m repro bench --only scenarios
 
-``evaluate`` and ``bench`` take ``--jobs N`` to fan the (scheme x trace)
-replays out over N worker processes (``--jobs 0`` = one per CPU); results
-are bit-identical for any worker count — see :mod:`repro.runtime.parallel`.
+``evaluate``, ``scenarios run``, and ``bench`` take ``--jobs N`` to fan the
+(scheme x trace) replays out over N worker processes (``--jobs 0`` = one
+per CPU); results are bit-identical for any worker count — see
+:mod:`repro.runtime.parallel`.
 """
 
 from __future__ import annotations
@@ -30,11 +35,22 @@ import numpy as np
 
 from repro.core.predictor.training import PredictorTrainer, evaluate_accuracy
 from repro.hardware.platforms import get_platform, list_platforms
-from repro.runtime.metrics import aggregate_results
+from repro.runtime.metrics import AggregateMetrics, aggregate_results
 from repro.runtime.simulator import SimulationSetup, Simulator
 from repro.traces.generator import TraceGenerator
 from repro.traces.io import save_traces
 from repro.webapp.apps import AppCatalog, SEEN_APPS, UNSEEN_APPS
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for counts that must be >= 1 (e.g. traces per app)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -46,18 +62,22 @@ def _build_parser() -> argparse.ArgumentParser:
 
     generate = sub.add_parser("generate", help="generate synthetic interaction traces")
     generate.add_argument("--apps", nargs="+", default=list(SEEN_APPS), help="application names")
-    generate.add_argument("--traces", type=int, default=3, help="traces per application")
+    generate.add_argument(
+        "--traces", type=_positive_int, default=3, help="traces per application (>= 1)"
+    )
     generate.add_argument("--seed", type=int, default=0, help="base random seed")
     generate.add_argument("--out", required=True, help="output JSON file")
 
     train = sub.add_parser("train", help="train the event predictor and report accuracy")
-    train.add_argument("--traces-per-app", type=int, default=6)
-    train.add_argument("--eval-traces", type=int, default=2)
+    train.add_argument("--traces-per-app", type=_positive_int, default=6)
+    train.add_argument("--eval-traces", type=_positive_int, default=2)
     train.add_argument("--seed", type=int, default=0)
 
     evaluate = sub.add_parser("evaluate", help="replay traces under scheduling schemes")
     evaluate.add_argument("--apps", nargs="+", default=["cnn", "google", "ebay"])
-    evaluate.add_argument("--traces", type=int, default=1, help="traces per application")
+    evaluate.add_argument(
+        "--traces", type=_positive_int, default=1, help="traces per application (>= 1)"
+    )
     evaluate.add_argument(
         "--schemes",
         nargs="+",
@@ -65,7 +85,7 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["Interactive", "Ondemand", "EBS", "PES", "Oracle"],
     )
     evaluate.add_argument("--platform", default="exynos5410", choices=list_platforms())
-    evaluate.add_argument("--train-traces-per-app", type=int, default=6)
+    evaluate.add_argument("--train-traces-per-app", type=_positive_int, default=6)
     evaluate.add_argument("--seed", type=int, default=500_000)
     evaluate.add_argument(
         "--jobs",
@@ -73,6 +93,45 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for the scheme sweep (0 = one per CPU; default 1, serial)",
     )
+
+    scenarios = sub.add_parser(
+        "scenarios", help="list/run/compare declarative scenario matrices"
+    )
+    action = scenarios.add_subparsers(dest="action", required=True)
+
+    scenarios_list = action.add_parser(
+        "list", help="list built-in scenarios, matrices, regimes, and app mixes"
+    )
+    scenarios_list.add_argument(
+        "--matrix", default=None, help="show the expansion of one named matrix"
+    )
+
+    scenarios_run = action.add_parser("run", help="run a matrix or named scenarios")
+    run_target = scenarios_run.add_mutually_exclusive_group()
+    run_target.add_argument(
+        "--matrix", default="default", help="named matrix to expand (default: default)"
+    )
+    run_target.add_argument(
+        "--scenario",
+        nargs="+",
+        default=None,
+        help="run these built-in scenarios instead of a matrix",
+    )
+    scenarios_run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the matrix sweep (0 = one per CPU; default 1, serial)",
+    )
+    scenarios_run.add_argument("--train-traces-per-app", type=_positive_int, default=4)
+    scenarios_run.add_argument(
+        "--out", default=None, help="output JSON path (default: results/SCENARIOS_<name>.json)"
+    )
+
+    scenarios_compare = action.add_parser(
+        "compare", help="render or diff saved SCENARIOS_*.json artefacts"
+    )
+    scenarios_compare.add_argument("files", nargs="+", help="one artefact to render, two to diff")
 
     sub.add_parser("platforms", help="list the available hardware platform models")
 
@@ -84,7 +143,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--jobs",
         type=int,
         default=4,
-        help="worker processes for the parallel-sweep bench (default 4)",
+        help="worker processes for the parallel benches (default 4)",
+    )
+    bench.add_argument(
+        "--only",
+        nargs="+",
+        default=None,
+        choices=["solver", "compare", "parallel", "scenarios"],
+        help="run only these benches",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke-test sizes (artefact schema unchanged, numbers not comparable)",
     )
     return parser
 
@@ -118,6 +189,29 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _evaluation_rows(
+    schemes: Sequence[str], metrics: dict[str, AggregateMetrics], baseline: str
+) -> list[str]:
+    """Formatted result rows, with the vs-baseline column guarded.
+
+    A baseline that aggregated to non-positive energy (degenerate traces)
+    renders ``n/a`` instead of raising ``ZeroDivisionError``.
+    """
+    base_energy = metrics[baseline].total_energy_mj
+    rows = []
+    for scheme in schemes:
+        m = metrics[scheme]
+        if base_energy > 0:
+            vs_baseline = f"{m.total_energy_mj / base_energy * 100:>9.1f}%"
+        else:
+            vs_baseline = f"{'n/a':>10}"
+        rows.append(
+            f"{scheme:<13} {m.total_energy_mj:>12.0f} {vs_baseline} "
+            f"{m.qos_violation_rate * 100:>13.1f}%"
+        )
+    return rows
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     catalog = AppCatalog()
     generator = TraceGenerator(catalog=catalog)
@@ -137,15 +231,121 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
     metrics = {scheme: aggregate_results(res) for scheme, res in results.items()}
     baseline = args.schemes[0]
-    base_energy = metrics[baseline].total_energy_mj
     print(f"platform={args.platform}  apps={','.join(args.apps)}  traces/app={args.traces}")
     print(f"{'scheme':<13} {'energy (mJ)':>12} {'vs ' + baseline:>10} {'QoS violation':>14}")
-    for scheme in args.schemes:
-        m = metrics[scheme]
+    for row in _evaluation_rows(args.schemes, metrics, baseline):
+        print(row)
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import format_table, scenario_energy_table, scenario_qos_table
+    from repro.scenarios import (
+        APP_MIXES,
+        BUILTIN_SCENARIOS,
+        MATRICES,
+        ScenarioRunner,
+        get_matrix,
+        get_scenario,
+        load_results,
+        results_to_rows,
+        write_results,
+    )
+    from repro.traces.presets import SESSION_REGIMES
+
+    if args.action == "list":
+        if args.matrix is not None:
+            matrix = get_matrix(args.matrix)
+            print(f"matrix {matrix.name}: {matrix.n_cells} scenarios — {matrix.description}")
+            for spec in matrix.expand():
+                print(
+                    f"  {spec.name:<40} apps={','.join(spec.resolved_apps())} "
+                    f"schemes={','.join(spec.schemes)}"
+                )
+            return 0
+        print("built-in scenarios:")
+        for name, spec in sorted(BUILTIN_SCENARIOS.items()):
+            print(
+                f"  {name:<18} {spec.platform:<13} {spec.regime:<16} "
+                f"apps={spec.apps if isinstance(spec.apps, str) else ','.join(spec.apps):<10} "
+                f"— {spec.description}"
+            )
+        print("matrices:")
+        for name, matrix in sorted(MATRICES.items()):
+            print(f"  {name:<18} {matrix.n_cells:>3} scenarios — {matrix.description}")
+        print(f"session regimes: {', '.join(sorted(SESSION_REGIMES))}")
+        print(f"app mixes: {', '.join(sorted(APP_MIXES))}")
+        return 0
+
+    if args.action == "run":
+        from repro.utils import resolve_jobs
+
+        if args.scenario:
+            specs = [get_scenario(name) for name in args.scenario]
+            run_name = "custom"
+        else:
+            specs = get_matrix(args.matrix).expand()
+            run_name = args.matrix
+        jobs = resolve_jobs(args.jobs)
+        runner = ScenarioRunner(jobs=jobs, train_traces_per_app=args.train_traces_per_app)
+        n_replays = sum(spec.n_sessions * len(spec.schemes) for spec in specs)
         print(
-            f"{scheme:<13} {m.total_energy_mj:>12.0f} {m.total_energy_mj / base_energy * 100:>9.1f}% "
-            f"{m.qos_violation_rate * 100:>13.1f}%"
+            f"running {len(specs)} scenario(s), {n_replays} session replay(s), "
+            f"{jobs} worker(s)..."
         )
+        results = runner.run(specs)
+
+        rows = results_to_rows(results)
+        print(scenario_energy_table(rows))
+        print()
+        print(scenario_qos_table(rows))
+
+        if args.out is not None:
+            out = args.out
+        else:
+            from repro.bench import _default_results_dir
+
+            out = _default_results_dir() / f"SCENARIOS_{run_name}.json"
+        path = write_results(results, out, matrix=run_name, jobs=jobs)
+        print(f"\nwrote {len(results)} scenario results to {path}")
+        return 0
+
+    # compare: render one artefact, or diff the total energy of two.
+    if len(args.files) > 2:
+        raise SystemExit("scenarios compare takes one or two artefact files")
+    payload_a, results_a = load_results(args.files[0])
+    rows_a = results_to_rows(results_a)
+    if len(args.files) == 1:
+        print(f"{args.files[0]} (matrix={payload_a.get('matrix')})")
+        print(scenario_energy_table(rows_a))
+        print()
+        print(scenario_qos_table(rows_a))
+        return 0
+
+    _, results_b = load_results(args.files[1])
+    by_name_b = {result.spec.name: result for result in results_b}
+    rows: list[list[object]] = []
+    unmatched: list[str] = []
+    for result in results_a:
+        other = by_name_b.get(result.spec.name)
+        if other is None:
+            unmatched.append(result.spec.name)
+            continue
+        for scheme, aggregates in result.aggregates.items():
+            other_aggregates = other.aggregates.get(scheme)
+            if other_aggregates is None:
+                unmatched.append(f"{result.spec.name}:{scheme}")
+                continue
+            energy_a = aggregates.overall.total_energy_mj
+            energy_b = other_aggregates.overall.total_energy_mj
+            delta = f"{(energy_b / energy_a - 1) * 100:+.1f}%" if energy_a > 0 else "n/a"
+            rows.append([result.spec.name, scheme, round(energy_a, 1), round(energy_b, 1), delta])
+    unmatched.extend(name for name in by_name_b if name not in {r.spec.name for r in results_a})
+    print(format_table(["scenario", "scheme", "energy A (mJ)", "energy B (mJ)", "B vs A"], rows))
+    if unmatched:
+        # A cell that vanished from one run is itself a regression signal;
+        # never let it disappear from the diff silently.
+        print(f"not in both artefacts: {', '.join(unmatched)}")
     return 0
 
 
@@ -154,7 +354,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     from repro.bench import run_all
 
-    run_all(results_dir=Path(args.results_dir) if args.results_dir else None, jobs=args.jobs)
+    run_all(
+        results_dir=Path(args.results_dir) if args.results_dir else None,
+        jobs=args.jobs,
+        only=args.only,
+        quick=args.quick,
+    )
     return 0
 
 
@@ -176,6 +381,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "generate": _cmd_generate,
         "train": _cmd_train,
         "evaluate": _cmd_evaluate,
+        "scenarios": _cmd_scenarios,
         "platforms": _cmd_platforms,
         "bench": _cmd_bench,
     }

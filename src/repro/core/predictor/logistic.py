@@ -16,6 +16,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 
+def _weights_equal(a: np.ndarray | None, b: np.ndarray | None) -> bool:
+    """Value equality for optional weight arrays (both unset, or identical)."""
+    if a is None or b is None:
+        return a is b
+    return np.array_equal(a, b)
+
+
 def _sigmoid(z: np.ndarray) -> np.ndarray:
     # Clipping keeps exp() in range; gradients at the clip edge are ~1e-15
     # so training behaviour is unaffected.
@@ -119,6 +126,20 @@ class LogisticRegression:
         features = np.atleast_2d(np.asarray(features, dtype=float))
         return features @ self.weights
 
+    def __eq__(self, other: object) -> bool:
+        # The dataclass-generated __eq__ would compare the weight arrays
+        # with ``==`` (elementwise, ambiguous truth value); compare by value
+        # instead so two separately fitted-but-identical models are equal.
+        if not isinstance(other, LogisticRegression):
+            return NotImplemented
+        return (
+            self.learning_rate == other.learning_rate
+            and self.max_iterations == other.max_iterations
+            and self.l2 == other.l2
+            and self.tolerance == other.tolerance
+            and _weights_equal(self.weights, other.weights)
+        )
+
 
 @dataclass
 class OneVsRestLogistic:
@@ -199,6 +220,17 @@ class OneVsRestLogistic:
 
     def predict(self, features: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
         return self.predict_proba(features, mask).argmax(axis=1)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OneVsRestLogistic):
+            return NotImplemented
+        return (
+            self.n_classes == other.n_classes
+            and self.learning_rate == other.learning_rate
+            and self.max_iterations == other.max_iterations
+            and self.l2 == other.l2
+            and self.models == other.models
+        )
 
 
 @dataclass
@@ -323,3 +355,16 @@ class SoftmaxRegression:
 
     def predict(self, features: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
         return self.predict_proba(features, mask).argmax(axis=1)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SoftmaxRegression):
+            return NotImplemented
+        return (
+            self.n_classes == other.n_classes
+            and self.learning_rate == other.learning_rate
+            and self.max_iterations == other.max_iterations
+            and self.l2 == other.l2
+            and self.tolerance == other.tolerance
+            and self.temperature == other.temperature
+            and _weights_equal(self.weights, other.weights)
+        )

@@ -10,7 +10,7 @@ by :class:`AcmpConfig`.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterator, Sequence
 
 
@@ -46,6 +46,12 @@ class Cluster:
     core_count: int
     frequencies_mhz: tuple[int, ...]
     perf_scale: float = 1.0
+    #: Design maximum of the silicon when the ladder has been truncated by a
+    #: policy constraint (see :meth:`AcmpSystem.with_frequency_cap`).  The
+    #: power model scales against this value, so a capped operating point
+    #: draws exactly what it draws on the unconstrained platform.  ``None``
+    #: means the ladder is complete and the top rung is the design maximum.
+    nominal_max_frequency_mhz: int | None = None
 
     def __post_init__(self) -> None:
         if self.core_count <= 0:
@@ -58,6 +64,11 @@ class Cluster:
             raise ValueError("frequencies_mhz must be unique")
         if not 0.0 < self.perf_scale <= 1.0:
             raise ValueError("perf_scale must be in (0, 1]")
+        if (
+            self.nominal_max_frequency_mhz is not None
+            and self.nominal_max_frequency_mhz < self.frequencies_mhz[-1]
+        ):
+            raise ValueError("nominal_max_frequency_mhz cannot be below the ladder maximum")
 
     @property
     def min_frequency_mhz(self) -> int:
@@ -66,6 +77,11 @@ class Cluster:
     @property
     def max_frequency_mhz(self) -> int:
         return self.frequencies_mhz[-1]
+
+    @property
+    def design_max_frequency_mhz(self) -> int:
+        """The silicon's maximum frequency, ignoring any policy cap."""
+        return self.nominal_max_frequency_mhz or self.frequencies_mhz[-1]
 
     def nearest_frequency(self, target_mhz: float) -> int:
         """Return the available frequency closest to ``target_mhz``.
@@ -188,6 +204,37 @@ class AcmpSystem:
         """The lowest-performance configuration (little cluster at min frequency)."""
         little = self.little_cluster
         return AcmpConfig(little.name, little.min_frequency_mhz)
+
+    def with_frequency_cap(self, cap_mhz: int) -> "AcmpSystem":
+        """A copy of this system restricted to operating points <= ``cap_mhz``.
+
+        Models OS-level low-battery throttling: the governor refuses to
+        schedule above the cap, shrinking every scheduler's configuration
+        space.  A cluster whose entire ladder sits above the cap keeps only
+        its minimum frequency so it remains schedulable.  Each capped
+        cluster records its original design maximum
+        (``nominal_max_frequency_mhz``), so the analytical power model
+        charges a kept operating point exactly what the unconstrained
+        platform would.
+        """
+        if cap_mhz <= 0:
+            raise ValueError("cap_mhz must be positive")
+        capped: list[Cluster] = []
+        for cluster in self.clusters:
+            kept = tuple(f for f in cluster.frequencies_mhz if f <= cap_mhz)
+            if kept == cluster.frequencies_mhz:
+                capped.append(cluster)
+                continue
+            capped.append(
+                replace(
+                    cluster,
+                    frequencies_mhz=kept or (cluster.min_frequency_mhz,),
+                    nominal_max_frequency_mhz=cluster.design_max_frequency_mhz,
+                )
+            )
+        if all(capped_c is original for capped_c, original in zip(capped, self.clusters)):
+            return self
+        return AcmpSystem(name=f"{self.name}@{cap_mhz}mhz", clusters=tuple(capped))
 
     def effective_frequency_ghz(self, config: AcmpConfig) -> float:
         """Frequency scaled by the cluster's relative IPC.

@@ -122,7 +122,10 @@ class PowerModel:
     def active_power_w(self, system: AcmpSystem, config: AcmpConfig) -> float:
         cluster = system.cluster_of(config)
         params = self.params_for(cluster)
-        ratio = config.frequency_mhz / cluster.max_frequency_mhz
+        # Scale against the silicon's design maximum, not the (possibly
+        # policy-capped) ladder top: a frequency-capped system draws exactly
+        # the same power at a kept operating point as the unconstrained one.
+        ratio = config.frequency_mhz / cluster.design_max_frequency_mhz
         return params.static_w + params.dynamic_coeff_w * ratio**params.exponent
 
     def idle_power_w(self, system: AcmpSystem) -> float:

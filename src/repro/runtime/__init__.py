@@ -5,6 +5,7 @@ from repro.runtime.metrics import (
     EventOutcome,
     SessionResult,
     StreamingAggregator,
+    StreamingMatrixAggregator,
     StreamingSweepAggregator,
     aggregate_results,
 )
@@ -14,13 +15,20 @@ from repro.runtime.simulator import Simulator, SimulationSetup
 #: Parallel-evaluation names resolved lazily (PEP 562) so importing the
 #: package does not pull in ``multiprocessing``; ``Simulator.compare`` and
 #: the CLI likewise defer the import until a pool is actually requested.
-_PARALLEL_EXPORTS = {"ParallelEvaluator", "EvaluationOutcome", "SchemeAggregates"}
+_PARALLEL_EXPORTS = {
+    "ParallelEvaluator",
+    "EvaluationOutcome",
+    "SchemeAggregates",
+    "MatrixSweep",
+    "MatrixOutcome",
+}
 
 __all__ = [
     "EventOutcome",
     "SessionResult",
     "AggregateMetrics",
     "StreamingAggregator",
+    "StreamingMatrixAggregator",
     "StreamingSweepAggregator",
     "aggregate_results",
     "ReactiveEngine",
@@ -30,6 +38,8 @@ __all__ = [
     "ParallelEvaluator",
     "EvaluationOutcome",
     "SchemeAggregates",
+    "MatrixSweep",
+    "MatrixOutcome",
     "Simulator",
     "SimulationSetup",
 ]

@@ -249,6 +249,30 @@ class StreamingSweepAggregator:
         return {app: agg.finalize() for app, agg in self.per_app.items()}
 
 
+@dataclass
+class StreamingMatrixAggregator:
+    """Streaming aggregation over (scenario key, scheme) cells.
+
+    The scenario matrix fans jobs from *several* sweeps through one pool;
+    this folds each delivered result into its ``(key, scheme)`` cell so a
+    matrix over thousands of sessions never materialises per-cell result
+    lists.  Cells appear in fold order, and folding in job order reproduces
+    the serial sweep's floating-point totals exactly.
+    """
+
+    cells: dict[tuple[str, str], StreamingSweepAggregator] = field(default_factory=dict)
+
+    def add(self, key: str, scheme: str, result: SessionResult) -> None:
+        self.cells.setdefault((key, scheme), StreamingSweepAggregator()).add(result)
+
+    def finalize_cell(
+        self, key: str, scheme: str
+    ) -> tuple[AggregateMetrics, dict[str, AggregateMetrics]]:
+        """Overall and per-app aggregates of one ``(key, scheme)`` cell."""
+        sweep = self.cells[(key, scheme)]
+        return sweep.finalize(), sweep.finalize_per_app()
+
+
 def aggregate_results(results: Iterable[SessionResult]) -> AggregateMetrics:
     """Aggregate sessions replayed under the same scheduler."""
     aggregator = StreamingAggregator()

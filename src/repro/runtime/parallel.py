@@ -55,6 +55,7 @@ from repro.core.predictor.sequence_learner import EventSequenceLearner
 from repro.runtime.metrics import (
     AggregateMetrics,
     SessionResult,
+    StreamingMatrixAggregator,
     StreamingSweepAggregator,
 )
 from repro.runtime.simulator import KNOWN_SCHEMES, SimulationSetup, Simulator
@@ -64,6 +65,8 @@ from repro.webapp.apps import AppCatalog
 
 __all__ = [
     "EvaluationOutcome",
+    "MatrixOutcome",
+    "MatrixSweep",
     "ParallelEvaluator",
     "SchemeAggregates",
     "resolve_jobs",
@@ -89,6 +92,51 @@ class EvaluationOutcome:
 
     aggregates: dict[str, SchemeAggregates]
     results: dict[str, list[SessionResult]] | None = None
+
+
+@dataclass(frozen=True)
+class MatrixSweep:
+    """One scenario's share of a matrix evaluation.
+
+    Every sweep carries its own :class:`SimulationSetup` — matrix cells may
+    differ in platform, frequency cap, or PES tuning — while the pool and
+    the trained learner are shared across the whole matrix.
+    """
+
+    key: str
+    setup: SimulationSetup
+    traces: tuple[Trace, ...]
+    schemes: tuple[str, ...]
+    pes_config: PesConfig | None = None
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ValueError("a matrix sweep needs a non-empty key")
+        if not self.schemes:
+            raise ValueError(f"matrix sweep {self.key!r} has no schemes")
+        unknown = [scheme for scheme in self.schemes if scheme not in KNOWN_SCHEMES]
+        if unknown:
+            raise ValueError(f"unknown scheme {unknown[0]!r} in matrix sweep {self.key!r}")
+        if not self.traces:
+            # A zero-trace sweep would silently vanish from the aggregates
+            # and surface as a KeyError in whoever indexes by sweep key.
+            raise ValueError(f"matrix sweep {self.key!r} has no traces")
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.traces) * len(self.schemes)
+
+
+@dataclass
+class MatrixOutcome:
+    """Streamed aggregates (and optionally raw results) of a matrix run.
+
+    Both mappings are keyed ``sweep key -> scheme``; ``results`` is ``None``
+    unless the matrix ran with ``keep_results=True``.
+    """
+
+    aggregates: dict[str, dict[str, SchemeAggregates]]
+    results: dict[str, dict[str, list[SessionResult]]] | None = None
 
 
 # -- worker side --------------------------------------------------------------------
@@ -126,6 +174,57 @@ def _run_job(job: tuple[int, str, Trace]) -> tuple[int, SessionResult]:
     index, scheme, trace = job
     result = _WORKER.simulator.run_scheme(
         [trace], scheme, learner=_WORKER.learner, pes_config=_WORKER.pes_config
+    )[0]
+    return index, result
+
+
+_MATRIX_WORKER: _MatrixWorkerContext | None = None
+
+
+@dataclass
+class _MatrixWorkerContext:
+    """Worker-local state for matrix runs: one lazy Simulator per sweep key.
+
+    Simulators are built on first use, so a worker that only ever steals
+    jobs from two scenarios never pays for the other setups' power tables
+    and scheduler caches.
+    """
+
+    catalog: AppCatalog
+    learner: EventSequenceLearner | None
+    setups: dict[str, SimulationSetup]
+    pes_configs: dict[str, PesConfig | None]
+    simulators: dict[str, Simulator] = field(default_factory=dict)
+
+    def simulator(self, key: str) -> Simulator:
+        simulator = self.simulators.get(key)
+        if simulator is None:
+            simulator = Simulator(setup=self.setups[key], catalog=self.catalog)
+            self.simulators[key] = simulator
+        return simulator
+
+
+def _init_matrix_worker(
+    catalog: AppCatalog,
+    learner: EventSequenceLearner | None,
+    setups: dict[str, SimulationSetup],
+    pes_configs: dict[str, PesConfig | None],
+) -> None:
+    global _MATRIX_WORKER
+    _MATRIX_WORKER = _MatrixWorkerContext(
+        catalog=catalog, learner=learner, setups=setups, pes_configs=pes_configs
+    )
+
+
+def _run_matrix_job(job: tuple[int, str, str, Trace]) -> tuple[int, SessionResult]:
+    """Replay one (sweep, scheme, trace) job on the worker's per-key simulator."""
+    assert _MATRIX_WORKER is not None, "matrix worker pool was not initialised"
+    index, key, scheme, trace = job
+    result = _MATRIX_WORKER.simulator(key).run_scheme(
+        [trace],
+        scheme,
+        learner=_MATRIX_WORKER.learner,
+        pes_config=_MATRIX_WORKER.pes_configs[key],
     )[0]
     return index, result
 
@@ -215,6 +314,67 @@ class ParallelEvaluator:
             }
         return EvaluationOutcome(aggregates=aggregates, results=results)
 
+    def evaluate_matrix(
+        self,
+        sweeps: Sequence[MatrixSweep],
+        *,
+        learner: EventSequenceLearner | None = None,
+        keep_results: bool = False,
+    ) -> MatrixOutcome:
+        """Fan several scenarios' (scheme x trace) jobs through one pool.
+
+        Jobs from every sweep share the pool, so a short scenario's workers
+        steal from a long one instead of idling at scenario boundaries.
+        Aggregation folds results in global job order (sweep, then scheme,
+        then trace), making every per-scenario aggregate bit-identical for
+        any worker count.
+        """
+        sweep_list = list(sweeps)
+        keys = [sweep.key for sweep in sweep_list]
+        if len(set(keys)) != len(keys):
+            raise ValueError("matrix sweep keys must be unique")
+        if learner is None and any("PES" in sweep.schemes for sweep in sweep_list):
+            raise ValueError("running PES requires a trained learner")
+
+        jobs: list[tuple[int, str, str, Trace]] = []
+        for sweep in sweep_list:
+            for scheme in sweep.schemes:
+                for trace in sweep.traces:
+                    jobs.append((len(jobs), sweep.key, scheme, trace))
+        aggregator = StreamingMatrixAggregator()
+        ordered: list[SessionResult | None] = [None] * len(jobs) if keep_results else []
+        if not jobs:
+            return MatrixOutcome(aggregates={}, results={} if keep_results else None)
+
+        workers = min(self._jobs, len(jobs))
+        if workers <= 1:
+            self._run_matrix_serial(sweep_list, learner, aggregator, ordered)
+        else:
+            self._run_matrix_parallel(sweep_list, jobs, learner, aggregator, ordered, workers)
+
+        aggregates: dict[str, dict[str, SchemeAggregates]] = {}
+        for sweep in sweep_list:
+            per_scheme: dict[str, SchemeAggregates] = {}
+            for scheme in sweep.schemes:
+                if (sweep.key, scheme) not in aggregator.cells:
+                    continue
+                overall, per_app = aggregator.finalize_cell(sweep.key, scheme)
+                per_scheme[scheme] = SchemeAggregates(overall=overall, per_app=per_app)
+            if per_scheme:
+                aggregates[sweep.key] = per_scheme
+
+        results: dict[str, dict[str, list[SessionResult]]] | None = None
+        if keep_results:
+            results = {}
+            cursor = 0
+            for sweep in sweep_list:
+                per_scheme_results: dict[str, list[SessionResult]] = {}
+                for scheme in sweep.schemes:
+                    per_scheme_results[scheme] = ordered[cursor : cursor + len(sweep.traces)]  # type: ignore[assignment]
+                    cursor += len(sweep.traces)
+                results[sweep.key] = per_scheme_results
+        return MatrixOutcome(aggregates=aggregates, results=results)
+
     # -- execution strategies -----------------------------------------------------
 
     def _run_serial(
@@ -277,6 +437,68 @@ class ParallelEvaluator:
         except BaseException:
             # Don't drain the queued remainder of the sweep just to report a
             # failure that already happened.
+            pool.terminate()
+            raise
+        else:
+            pool.close()
+        finally:
+            pool.join()
+
+    def _run_matrix_serial(
+        self,
+        sweeps: list[MatrixSweep],
+        learner: EventSequenceLearner | None,
+        aggregator: StreamingMatrixAggregator,
+        ordered: list[SessionResult | None],
+    ) -> None:
+        """In-process matrix run: one simulator per sweep, global job order."""
+        position = 0
+        for sweep in sweeps:
+            simulator = Simulator(setup=sweep.setup, catalog=self.catalog)
+            for scheme in sweep.schemes:
+                results = simulator.run_scheme(
+                    list(sweep.traces), scheme, learner=learner, pes_config=sweep.pes_config
+                )
+                for result in results:
+                    aggregator.add(sweep.key, scheme, result)
+                    if ordered:
+                        ordered[position] = result
+                    position += 1
+
+    def _run_matrix_parallel(
+        self,
+        sweeps: list[MatrixSweep],
+        jobs: list[tuple[int, str, str, Trace]],
+        learner: EventSequenceLearner | None,
+        aggregator: StreamingMatrixAggregator,
+        ordered: list[SessionResult | None],
+        workers: int,
+    ) -> None:
+        job_cell = [(key, scheme) for _, key, scheme, _ in jobs]
+        setups = {sweep.key: sweep.setup for sweep in sweeps}
+        pes_configs = {sweep.key: sweep.pes_config for sweep in sweeps}
+        chunk = self.chunk_size or pool_chunk_size(len(jobs), workers)
+        pool = mp_context().Pool(
+            processes=workers,
+            initializer=_init_matrix_worker,
+            initargs=(self.catalog, learner, setups, pes_configs),
+        )
+        try:
+            # Same prefix-buffered fold as the single-sweep path: results
+            # arrive in completion order, aggregation happens in job order,
+            # so per-scenario totals match the serial matrix bit-for-bit.
+            pending: dict[int, SessionResult] = {}
+            next_index = 0
+            for index, result in pool.imap_unordered(_run_matrix_job, jobs, chunksize=chunk):
+                pending[index] = result
+                while next_index in pending:
+                    ready = pending.pop(next_index)
+                    key, scheme = job_cell[next_index]
+                    aggregator.add(key, scheme, ready)
+                    if ordered:
+                        ordered[next_index] = ready
+                    next_index += 1
+        except BaseException:
             pool.terminate()
             raise
         else:

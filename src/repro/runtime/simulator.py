@@ -8,6 +8,7 @@ application, which is what the evaluation figures consume.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -85,7 +86,10 @@ class Simulator:
         #: scheduler per application the way the reactive baselines reuse
         #: theirs; ``PesScheduler.reset`` (called by the engine before every
         #: replay) restores a reused instance to freshly-constructed state.
-        self._pes_cache: dict[str, tuple[EventSequenceLearner, PesConfig | None, PesScheduler]] = {}
+        #: The config key is always concrete (``None`` is normalised to the
+        #: default ``PesConfig()``), and the learner is compared by value,
+        #: so an equal retrained learner keeps hitting the cache.
+        self._pes_cache: dict[str, tuple[EventSequenceLearner, PesConfig, PesScheduler]] = {}
 
     # -- single-trace runs ---------------------------------------------------------
 
@@ -107,19 +111,20 @@ class Simulator:
         learner: EventSequenceLearner,
         pes_config: PesConfig | None,
     ) -> PesScheduler:
+        config = pes_config if pes_config is not None else PesConfig()
         cached = self._pes_cache.get(app_name)
         if cached is not None:
             cached_learner, cached_config, scheduler = cached
-            if cached_learner is learner and cached_config == pes_config:
+            if cached_config == config and cached_learner == learner:
                 return scheduler
         scheduler = PesScheduler.create(
             learner=learner,
             profile=self.catalog.get(app_name),
             system=self.setup.system,
             power_table=self.setup.power_table,
-            config=pes_config,
+            config=config,
         )
-        self._pes_cache[app_name] = (learner, pes_config, scheduler)
+        self._pes_cache[app_name] = (learner, config, scheduler)
         return scheduler
 
     def run_oracle(self, trace: Trace, oracle: OracleScheduler | None = None) -> SessionResult:
@@ -210,7 +215,12 @@ class Simulator:
         scheme_results: Mapping[str, Sequence[SessionResult]],
         baseline: str = "Interactive",
     ) -> dict[str, dict[str, float]]:
-        """Per-app energy of every scheme normalised to ``baseline`` (Fig. 11)."""
+        """Per-app energy of every scheme normalised to ``baseline`` (Fig. 11).
+
+        Applications whose baseline energy is not positive cannot be
+        normalised; they are dropped from the result with a ``UserWarning``
+        (a silent drop made Fig. 11 rows disappear without explanation).
+        """
         if baseline not in scheme_results:
             raise KeyError(f"baseline scheme {baseline!r} missing from results")
         per_scheme_per_app = {
@@ -219,11 +229,19 @@ class Simulator:
         }
         baseline_per_app = per_scheme_per_app[baseline]
         normalised: dict[str, dict[str, float]] = {}
+        dropped: set[str] = set()
         for scheme, per_app in per_scheme_per_app.items():
             normalised[scheme] = {}
             for app, metrics in per_app.items():
                 base = baseline_per_app.get(app)
                 if base is None or base.total_energy_mj <= 0:
+                    dropped.add(app)
                     continue
                 normalised[scheme][app] = metrics.total_energy_mj / base.total_energy_mj
+        if dropped:
+            warnings.warn(
+                f"dropping {sorted(dropped)} from normalised energy: "
+                f"no positive {baseline!r} baseline energy to normalise against",
+                stacklevel=2,
+            )
         return normalised

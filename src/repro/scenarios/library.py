@@ -1,0 +1,137 @@
+"""Built-in scenario library and named matrices.
+
+Two entry points:
+
+* :data:`BUILTIN_SCENARIOS` — curated single scenarios, one per session
+  regime plus a cross-platform check, runnable by name
+  (``python -m repro scenarios run --scenario flash_crowd``).
+* :data:`MATRICES` — named :class:`~repro.scenarios.spec.ScenarioMatrix`
+  cross-products (``python -m repro scenarios run --matrix default``).
+
+The ``default`` matrix is sized to finish in minutes on one core while
+still covering both platforms and three qualitatively different regimes
+(6 scenarios x 3 schemes); ``full`` sweeps every regime on both platforms
+against seen *and* unseen app mixes for overnight breadth runs.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.spec import ScenarioMatrix, ScenarioSpec
+
+
+def _builtin_scenarios() -> dict[str, ScenarioSpec]:
+    specs = [
+        ScenarioSpec(
+            name="baseline_seen",
+            regime="default",
+            apps="core",
+            description="the paper's default sessions on the primary platform",
+        ),
+        ScenarioSpec(
+            name="flash_crowd",
+            regime="flash_crowd",
+            apps="news",
+            description="breaking-news burst: short think times, heavy taps",
+        ),
+        ScenarioSpec(
+            name="background_tabs",
+            regime="background_idle",
+            apps="mixed",
+            description="idle background tabs where idle energy dominates",
+        ),
+        ScenarioSpec(
+            name="low_battery",
+            regime="low_battery",
+            apps="mixed",
+            description="battery saver caps every cluster at 1.1 GHz",
+        ),
+        ScenarioSpec(
+            name="marathon_day",
+            regime="marathon",
+            apps="mixed",
+            description="long mixed multi-app browsing day",
+        ),
+        ScenarioSpec(
+            name="tegra_baseline",
+            platform="tegra_parker",
+            regime="default",
+            apps="core",
+            description="default sessions on the TX2-class platform (Sec. 6.5)",
+        ),
+    ]
+    return {spec.name: spec for spec in specs}
+
+
+#: Curated single scenarios, keyed by name.
+BUILTIN_SCENARIOS: dict[str, ScenarioSpec] = _builtin_scenarios()
+
+
+def _builtin_matrices() -> dict[str, ScenarioMatrix]:
+    return {
+        "default": ScenarioMatrix(
+            name="default",
+            platforms=("exynos5410", "tegra_parker"),
+            regimes=("default", "flash_crowd", "low_battery"),
+            app_mixes=("core",),
+            schemes=("Interactive", "EBS", "PES"),
+            traces_per_app=1,
+            description="both platforms x three regimes on the core app mix",
+        ),
+        "regimes": ScenarioMatrix(
+            name="regimes",
+            platforms=("exynos5410",),
+            regimes=("default", "flash_crowd", "background_idle", "low_battery", "marathon"),
+            app_mixes=("core",),
+            schemes=("Interactive", "EBS", "PES"),
+            traces_per_app=1,
+            description="every session regime on the primary platform",
+        ),
+        "reactive": ScenarioMatrix(
+            name="reactive",
+            platforms=("exynos5410", "tegra_parker"),
+            regimes=("default", "flash_crowd", "background_idle", "low_battery", "marathon"),
+            app_mixes=("core",),
+            schemes=("Interactive", "Ondemand", "EBS"),
+            traces_per_app=1,
+            description="training-free breadth sweep of the reactive baselines",
+        ),
+        "full": ScenarioMatrix(
+            name="full",
+            platforms=("exynos5410", "tegra_parker"),
+            regimes=("default", "flash_crowd", "background_idle", "low_battery", "marathon"),
+            app_mixes=("seen", "unseen"),
+            schemes=("Interactive", "Ondemand", "EBS", "PES"),
+            traces_per_app=2,
+            description="the overnight breadth run: 20 scenarios, every scheme",
+        ),
+    }
+
+
+#: Named matrices, keyed by name.
+MATRICES: dict[str, ScenarioMatrix] = _builtin_matrices()
+
+
+def list_scenarios() -> list[str]:
+    return sorted(BUILTIN_SCENARIOS)
+
+
+def list_matrices() -> list[str]:
+    return sorted(MATRICES)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    try:
+        return BUILTIN_SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {', '.join(list_scenarios())}"
+        ) from None
+
+
+def get_matrix(name: str) -> ScenarioMatrix:
+    try:
+        return MATRICES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown matrix {name!r}; available: {', '.join(list_matrices())}"
+        ) from None

@@ -1,0 +1,229 @@
+"""Run scenario specs end-to-end and serialise their results.
+
+:class:`ScenarioRunner` turns each :class:`~repro.scenarios.spec.ScenarioSpec`
+into a :class:`~repro.runtime.parallel.MatrixSweep` — regime-shaped traces,
+a platform setup with the regime's frequency cap applied — and fans every
+(scenario x scheme x trace) job through one
+:meth:`~repro.runtime.parallel.ParallelEvaluator.evaluate_matrix` pool with
+streaming per-scenario aggregation.  Every replay is deterministic, so any
+``jobs`` value produces bit-identical per-scenario aggregates.
+
+Results serialise to a plain-JSON schema (``results/SCENARIOS_*.json``)
+that the ``scenarios compare`` subcommand and external tooling can consume
+without importing this package's classes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.predictor.sequence_learner import EventSequenceLearner
+from repro.core.predictor.training import PredictorTrainer
+from repro.runtime.metrics import AggregateMetrics
+from repro.runtime.parallel import MatrixSweep, ParallelEvaluator, SchemeAggregates
+from repro.runtime.simulator import SimulationSetup
+from repro.scenarios.spec import ScenarioSpec
+from repro.traces.generator import TraceGenerator
+from repro.webapp.apps import AppCatalog, SEEN_APPS
+
+
+@dataclass
+class ScenarioResult:
+    """Aggregated outcome of one scenario across its schemes."""
+
+    spec: ScenarioSpec
+    aggregates: dict[str, SchemeAggregates]
+
+    def overall(self, scheme: str) -> AggregateMetrics:
+        return self.aggregates[scheme].overall
+
+    def normalised_energy(self) -> dict[str, float | None]:
+        """Total energy of each scheme relative to the scenario's baseline.
+
+        ``None`` marks schemes that cannot be normalised because the
+        baseline aggregated to non-positive energy (e.g. a degenerate
+        zero-event regime) — the table renderers print those as ``n/a``
+        instead of dividing by zero.
+        """
+        base = self.aggregates[self.spec.baseline].overall.total_energy_mj
+        if base <= 0:
+            return {scheme: None for scheme in self.aggregates}
+        return {
+            scheme: aggregates.overall.total_energy_mj / base
+            for scheme, aggregates in self.aggregates.items()
+        }
+
+    def qos_violation(self) -> dict[str, float]:
+        return {
+            scheme: aggregates.overall.qos_violation_rate
+            for scheme, aggregates in self.aggregates.items()
+        }
+
+    # -- serialisation ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "schemes": {
+                scheme: {
+                    "overall": asdict(aggregates.overall),
+                    "per_app": {
+                        app: asdict(metrics) for app, metrics in aggregates.per_app.items()
+                    },
+                }
+                for scheme, aggregates in self.aggregates.items()
+            },
+            "normalised_energy": self.normalised_energy(),
+            "qos_violation": self.qos_violation(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ScenarioResult":
+        aggregates = {
+            scheme: SchemeAggregates(
+                overall=AggregateMetrics(**cell["overall"]),
+                per_app={
+                    app: AggregateMetrics(**metrics)
+                    for app, metrics in cell["per_app"].items()
+                },
+            )
+            for scheme, cell in payload["schemes"].items()
+        }
+        return cls(spec=ScenarioSpec.from_dict(payload["spec"]), aggregates=aggregates)
+
+
+@dataclass
+class ScenarioRunner:
+    """Expands scenario specs into matrix sweeps and runs them."""
+
+    catalog: AppCatalog = field(default_factory=AppCatalog)
+    jobs: int = 1
+    chunk_size: int | None = None
+    #: Traces per seen app used when a PES scenario needs a learner and the
+    #: caller did not supply one.
+    train_traces_per_app: int = 4
+    train_seed: int = 0
+    #: Minimum sessions before a scenario's trace generation gets its own
+    #: worker pool; below this, pool start-up (a full interpreter spawn on
+    #: non-Linux platforms) costs more than generating the traces serially.
+    parallel_generation_threshold: int = 16
+    _trained: EventSequenceLearner | None = field(default=None, init=False, repr=False)
+
+    # -- building blocks --------------------------------------------------------
+
+    def build_sweep(self, spec: ScenarioSpec) -> MatrixSweep:
+        """Generate a scenario's traces and wire up its platform setup."""
+        regime = spec.resolved_regime()
+        generator = TraceGenerator(
+            catalog=self.catalog,
+            session=regime.session,
+            workload_params=regime.workload_params,
+        )
+        # generate_many_parallel always derives per-trace seeds through
+        # substream_seeds, so the traces are identical for any jobs value
+        # (and to generate_many(..., independent_streams=True)); jobs=1
+        # falls through to the plain serial loop.
+        gen_jobs = 1 if spec.n_sessions < self.parallel_generation_threshold else self.jobs
+        traces = generator.generate_many_parallel(
+            list(spec.resolved_apps()),
+            spec.traces_per_app,
+            base_seed=spec.seed,
+            jobs=gen_jobs,
+        )
+        return MatrixSweep(
+            key=spec.name,
+            setup=SimulationSetup(system=spec.system()),
+            traces=tuple(traces),
+            schemes=spec.schemes,
+            pes_config=spec.pes,
+        )
+
+    def train_learner(self) -> EventSequenceLearner:
+        """Train (once) the default predictor used by PES scenarios.
+
+        The training inputs are all runner fields, so the learner is cached
+        on the runner and reused across :meth:`run` calls.
+        """
+        if self._trained is None:
+            generator = TraceGenerator(catalog=self.catalog)
+            training = generator.generate_many(
+                list(SEEN_APPS), self.train_traces_per_app, base_seed=self.train_seed
+            )
+            self._trained = PredictorTrainer(catalog=self.catalog).train(training).learner
+        return self._trained
+
+    # -- execution --------------------------------------------------------------
+
+    def run(
+        self,
+        specs: Sequence[ScenarioSpec],
+        *,
+        learner: EventSequenceLearner | None = None,
+    ) -> list[ScenarioResult]:
+        """Run every scenario, returning one result per spec in spec order."""
+        spec_list = list(specs)
+        if not spec_list:
+            return []
+        if learner is None and any("PES" in spec.schemes for spec in spec_list):
+            learner = self.train_learner()
+        sweeps = [self.build_sweep(spec) for spec in spec_list]
+        evaluator = ParallelEvaluator(
+            catalog=self.catalog, jobs=self.jobs, chunk_size=self.chunk_size
+        )
+        outcome = evaluator.evaluate_matrix(sweeps, learner=learner)
+        return [
+            ScenarioResult(spec=spec, aggregates=outcome.aggregates[spec.name])
+            for spec in spec_list
+        ]
+
+
+def results_to_rows(
+    results: Sequence[ScenarioResult],
+) -> dict[str, dict[str, AggregateMetrics]]:
+    """Scenario -> scheme -> overall metrics, the shape the
+    :mod:`repro.analysis.reporting` scenario tables consume."""
+    return {
+        result.spec.name: {
+            scheme: aggregates.overall for scheme, aggregates in result.aggregates.items()
+        }
+        for result in results
+    }
+
+
+# -- result artefacts ------------------------------------------------------------------
+
+
+def results_to_payload(
+    results: Sequence[ScenarioResult], *, matrix: str | None = None, jobs: int | None = None
+) -> dict:
+    """The JSON payload of a scenario run (schema of ``SCENARIOS_*.json``)."""
+    return {
+        "matrix": matrix,
+        "jobs": jobs,
+        "n_scenarios": len(results),
+        "scenarios": [result.to_dict() for result in results],
+    }
+
+
+def write_results(
+    results: Sequence[ScenarioResult],
+    path: str | Path,
+    *,
+    matrix: str | None = None,
+    jobs: int | None = None,
+) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = results_to_payload(results, matrix=matrix, jobs=jobs)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def load_results(path: str | Path) -> tuple[dict, list[ScenarioResult]]:
+    """Read a ``SCENARIOS_*.json`` artefact back into result objects."""
+    payload = json.loads(Path(path).read_text())
+    results = [ScenarioResult.from_dict(entry) for entry in payload["scenarios"]]
+    return payload, results

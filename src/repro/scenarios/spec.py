@@ -1,0 +1,215 @@
+"""Declarative scenario specifications and the matrix expander.
+
+A :class:`ScenarioSpec` names everything one evaluation cell needs — a
+platform, a session regime (:mod:`repro.traces.presets`), an app mix, the
+schemes to replay, and an optional PES tuning — without running anything.
+A :class:`ScenarioMatrix` is the cross-product of those axes; expanding it
+yields one spec per cell, ready to fan through
+:meth:`repro.runtime.parallel.ParallelEvaluator.evaluate_matrix`.
+
+Everything here is data: validation happens at construction time so a bad
+matrix fails before any trace is generated, and specs round-trip through
+plain dicts for the JSON artefacts under ``results/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from itertools import product
+
+from repro.core.pes import PesConfig
+from repro.hardware.acmp import AcmpSystem
+from repro.hardware.platforms import get_platform, list_platforms
+from repro.runtime.simulator import KNOWN_SCHEMES
+from repro.traces.presets import SessionRegime, get_regime
+from repro.webapp.apps import SEEN_APPS, UNSEEN_APPS
+
+#: Named application mixes usable as a scenario axis.  The small mixes keep
+#: matrix cells cheap; ``seen``/``unseen``/``all`` reproduce the paper's
+#: grouping for full-breadth runs.
+APP_MIXES: dict[str, tuple[str, ...]] = {
+    "core": ("cnn", "google", "ebay"),
+    "news": ("cnn", "bbc", "nytimes"),
+    "shopping": ("amazon", "ebay", "taobao"),
+    "mixed": ("cnn", "google", "sina", "stackoverflow"),
+    "seen": tuple(SEEN_APPS),
+    "unseen": tuple(UNSEEN_APPS),
+    "all": tuple(SEEN_APPS) + tuple(UNSEEN_APPS),
+}
+
+
+def resolve_app_mix(apps: str | tuple[str, ...]) -> tuple[str, ...]:
+    """Turn a mix name or an explicit app tuple into the app tuple.
+
+    Explicit tuples are validated against the benchmark app names so a
+    typo fails at spec construction, not deep inside a run after the
+    predictor has already been trained.
+    """
+    if isinstance(apps, str):
+        try:
+            return APP_MIXES[apps]
+        except KeyError:
+            raise KeyError(
+                f"unknown app mix {apps!r}; available: {', '.join(sorted(APP_MIXES))}"
+            ) from None
+    if not apps:
+        raise ValueError("a scenario needs at least one application")
+    unknown = [app for app in apps if app not in APP_MIXES["all"]]
+    if unknown:
+        raise ValueError(f"unknown application {unknown[0]!r} in app mix")
+    return tuple(apps)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One evaluation cell: platform x regime x app mix x schemes (+ PES)."""
+
+    name: str
+    platform: str = "exynos5410"
+    regime: str = "default"
+    #: A mix name from :data:`APP_MIXES` or an explicit tuple of app names.
+    apps: str | tuple[str, ...] = "core"
+    schemes: tuple[str, ...] = ("Interactive", "EBS", "PES")
+    traces_per_app: int = 1
+    seed: int = 500_000
+    pes: PesConfig | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a scenario needs a name")
+        if self.platform not in list_platforms():
+            raise ValueError(
+                f"unknown platform {self.platform!r}; available: {', '.join(list_platforms())}"
+            )
+        get_regime(self.regime)  # raises KeyError with the available names
+        resolve_app_mix(self.apps)
+        if not self.schemes:
+            raise ValueError(f"scenario {self.name!r} has no schemes")
+        unknown = [scheme for scheme in self.schemes if scheme not in KNOWN_SCHEMES]
+        if unknown:
+            raise ValueError(f"unknown scheme {unknown[0]!r} in scenario {self.name!r}")
+        if self.traces_per_app < 1:
+            raise ValueError("traces_per_app must be >= 1")
+
+    # -- resolution -------------------------------------------------------------
+
+    def resolved_apps(self) -> tuple[str, ...]:
+        return resolve_app_mix(self.apps)
+
+    def resolved_regime(self) -> SessionRegime:
+        return get_regime(self.regime)
+
+    def system(self) -> AcmpSystem:
+        """The platform with the regime's hardware constraint applied."""
+        return self.resolved_regime().constrain(get_platform(self.platform))
+
+    @property
+    def baseline(self) -> str:
+        """The scheme every other scheme is normalised against (the first)."""
+        return self.schemes[0]
+
+    @property
+    def n_sessions(self) -> int:
+        return len(self.resolved_apps()) * self.traces_per_app
+
+    # -- serialisation ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "platform": self.platform,
+            "regime": self.regime,
+            "apps": self.apps if isinstance(self.apps, str) else list(self.apps),
+            "resolved_apps": list(self.resolved_apps()),
+            "schemes": list(self.schemes),
+            "traces_per_app": self.traces_per_app,
+            "seed": self.seed,
+            "pes": asdict(self.pes) if self.pes is not None else None,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ScenarioSpec":
+        apps = payload["apps"]
+        pes = payload.get("pes")
+        return cls(
+            name=payload["name"],
+            platform=payload.get("platform", "exynos5410"),
+            regime=payload.get("regime", "default"),
+            apps=apps if isinstance(apps, str) else tuple(apps),
+            schemes=tuple(payload["schemes"]),
+            traces_per_app=int(payload.get("traces_per_app", 1)),
+            seed=int(payload.get("seed", 500_000)),
+            pes=PesConfig(**pes) if pes is not None else None,
+            description=payload.get("description", ""),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioMatrix:
+    """Cross-product of scenario axes, expanded into one spec per cell.
+
+    Cell names are ``platform/regime/mix`` (with a ``pes<i>`` suffix when
+    several PES configs are swept), so a matrix run's artefacts stay
+    self-describing.
+    """
+
+    name: str
+    platforms: tuple[str, ...] = ("exynos5410",)
+    regimes: tuple[str, ...] = ("default",)
+    app_mixes: tuple[str, ...] = ("core",)
+    schemes: tuple[str, ...] = ("Interactive", "EBS", "PES")
+    pes_configs: tuple[PesConfig | None, ...] = (None,)
+    traces_per_app: int = 1
+    seed: int = 500_000
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a matrix needs a name")
+        for axis_name, axis in (
+            ("platforms", self.platforms),
+            ("regimes", self.regimes),
+            ("app_mixes", self.app_mixes),
+            ("schemes", self.schemes),
+            ("pes_configs", self.pes_configs),
+        ):
+            if not axis:
+                raise ValueError(f"matrix {self.name!r} has an empty {axis_name} axis")
+
+    @property
+    def n_cells(self) -> int:
+        return (
+            len(self.platforms)
+            * len(self.regimes)
+            * len(self.app_mixes)
+            * len(self.pes_configs)
+        )
+
+    def expand(self) -> list[ScenarioSpec]:
+        """One validated :class:`ScenarioSpec` per cell, deterministic order."""
+        specs: list[ScenarioSpec] = []
+        for platform, regime, mix, (pes_index, pes) in product(
+            self.platforms,
+            self.regimes,
+            self.app_mixes,
+            enumerate(self.pes_configs),
+        ):
+            cell = f"{platform}/{regime}/{mix}"
+            if len(self.pes_configs) > 1:
+                cell += f"/pes{pes_index}"
+            specs.append(
+                ScenarioSpec(
+                    name=cell,
+                    platform=platform,
+                    regime=regime,
+                    apps=mix,
+                    schemes=self.schemes,
+                    traces_per_app=self.traces_per_app,
+                    seed=self.seed,
+                    pes=pes,
+                    description=self.description,
+                )
+            )
+        return specs

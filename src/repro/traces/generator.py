@@ -167,6 +167,9 @@ class TraceGenerator:
     catalog: AppCatalog = field(default_factory=AppCatalog)
     session: SessionConfig = field(default_factory=SessionConfig)
     behavior_weights: Mapping[EventType, tuple[float, tuple[float, ...]]] | None = None
+    #: Per-interaction workload overrides (session-regime presets); ``None``
+    #: keeps :data:`repro.traces.workload.INTERACTION_WORKLOADS`.
+    workload_params: Mapping | None = None
 
     # -- public API ------------------------------------------------------------
 
@@ -175,7 +178,7 @@ class TraceGenerator:
         profile = self.catalog.get(app_name)
         rng = np.random.default_rng(seed)
         behaviour = UserBehaviorModel(profile, self.behavior_weights)
-        workload = WorkloadModel(profile)
+        workload = WorkloadModel(profile, params=self.workload_params)
         state = SessionState.fresh(profile)
 
         events: list[TraceEvent] = []

@@ -18,14 +18,23 @@ def resolve_jobs(jobs: int | None) -> int:
 def mp_context():
     """The multiprocessing context every pool in the repo should use.
 
-    Prefers ``fork`` (cheap start-up, workers inherit the imported package
-    and warm caches); falls back to the platform default where fork is
-    unavailable.
+    Prefers ``fork`` on Linux only (cheap start-up, workers inherit the
+    imported package and warm caches).  Everywhere else the platform
+    default is used: forking a multi-threaded process is unsafe on macOS
+    (CPython itself switched the darwin default to ``spawn`` in 3.8), and
+    Windows never had fork — so all pool initializers and job payloads in
+    this repo must stay picklable (spawn-safe) rather than relying on
+    inherited module state.
     """
     import multiprocessing
+    import sys
 
     methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else None)
+    if sys.platform == "linux" and "fork" in methods:
+        return multiprocessing.get_context("fork")
+    # Explicitly spawn elsewhere: get_context() would return the *host*
+    # default, which may still be fork on exotic POSIX platforms.
+    return multiprocessing.get_context("spawn" if "spawn" in methods else None)
 
 
 def pool_chunk_size(n_items: int, workers: int, chunks_per_worker: int = 8) -> int:

@@ -1,4 +1,7 @@
-"""Tests for the command-line interface."""
+"""Tests for the command-line interface: one smoke test per subcommand,
+plus regressions for the parse-time/normalisation guards."""
+
+import json
 
 import pytest
 
@@ -29,6 +32,19 @@ class TestGenerateCommand:
         with pytest.raises(KeyError):
             main(["generate", "--apps", "myspace", "--out", str(tmp_path / "x.json")])
 
+    def test_zero_traces_rejected_at_parse_time(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "--traces", "0", "--out", str(tmp_path / "x.json")])
+
+
+class TestTrainCommand:
+    def test_reports_seen_and_unseen_accuracy(self, capsys):
+        code = main(["train", "--traces-per-app", "1", "--eval-traces", "1"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "trained on" in output
+        assert "seen average" in output and "unseen average" in output
+
 
 class TestEvaluateCommand:
     def test_reactive_only_evaluation(self, capsys):
@@ -57,6 +73,129 @@ class TestEvaluateCommand:
         with pytest.raises(SystemExit):
             main(["evaluate", "--platform", "snapdragon"])
 
+    def test_zero_traces_rejected_at_parse_time(self):
+        # Regression: `--traces 0` used to crash mid-run (empty aggregation /
+        # zero-energy baseline division) instead of failing argument parsing.
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--apps", "google", "--traces", "0", "--schemes", "Interactive"])
+
+    def test_zero_energy_baseline_renders_na_instead_of_crashing(self):
+        from repro.cli import _evaluation_rows
+        from repro.runtime.metrics import AggregateMetrics
+
+        def metrics(energy):
+            return AggregateMetrics(
+                scheduler_name="x",
+                n_sessions=1,
+                n_events=0,
+                total_energy_mj=energy,
+                qos_violation_rate=0.0,
+                mean_latency_ms=0.0,
+                wasted_energy_mj=0.0,
+                wasted_time_ms=0.0,
+                mispredictions=0,
+                commits=0,
+            )
+
+        rows = _evaluation_rows(
+            ["Interactive", "EBS"],
+            {"Interactive": metrics(0.0), "EBS": metrics(4.0)},
+            "Interactive",
+        )
+        assert all("n/a" in row for row in rows)
+
+
+class TestScenariosCommand:
+    def test_list_shows_library_and_axes(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        output = capsys.readouterr().out
+        assert "built-in scenarios" in output
+        assert "flash_crowd" in output
+        assert "matrices:" in output
+        assert "session regimes:" in output
+
+    def test_list_matrix_expansion(self, capsys):
+        assert main(["scenarios", "list", "--matrix", "default"]) == 0
+        output = capsys.readouterr().out
+        assert "exynos5410/default/core" in output
+        assert "tegra_parker/flash_crowd/core" in output
+
+    def test_run_named_scenarios_and_compare(self, tmp_path, capsys):
+        out_a = tmp_path / "a.json"
+        code = main(
+            [
+                "scenarios",
+                "run",
+                "--scenario",
+                "baseline_seen",
+                "--jobs",
+                "1",
+                "--train-traces-per-app",
+                "1",
+                "--out",
+                str(out_a),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "baseline_seen" in output
+        assert "QoS viol." in output
+
+        payload = json.loads(out_a.read_text())
+        assert payload["n_scenarios"] == 1
+        assert payload["scenarios"][0]["spec"]["name"] == "baseline_seen"
+        schemes = payload["scenarios"][0]["schemes"]
+        assert {"Interactive", "EBS", "PES"} == set(schemes)
+
+        # compare (render one artefact)
+        assert main(["scenarios", "compare", str(out_a)]) == 0
+        assert "baseline_seen" in capsys.readouterr().out
+
+        # compare (diff two artefacts — identical run, so 0.0% deltas)
+        assert main(["scenarios", "compare", str(out_a), str(out_a)]) == 0
+        diff = capsys.readouterr().out
+        assert "B vs A" in diff
+        assert "+0.0%" in diff
+
+    def test_compare_rejects_three_files(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["scenarios", "compare", "a", "b", "c"])
+
+    def test_run_unknown_matrix_fails(self):
+        with pytest.raises(KeyError):
+            main(["scenarios", "run", "--matrix", "nope"])
+
+    def test_run_rejects_matrix_and_scenario_together(self):
+        with pytest.raises(SystemExit):
+            main(["scenarios", "run", "--matrix", "full", "--scenario", "low_battery"])
+
+
+class TestBenchCommand:
+    def test_quick_bench_writes_all_artefacts(self, tmp_path, capsys):
+        code = main(["bench", "--quick", "--jobs", "2", "--results-dir", str(tmp_path)])
+        assert code == 0
+        for name in ("solver", "compare", "parallel", "scenarios"):
+            path = tmp_path / f"BENCH_{name}.json"
+            assert path.exists(), f"missing {path.name}"
+            payload = json.loads(path.read_text())
+            assert payload["name"] == name
+            assert payload["ops_per_sec"] > 0
+        scenario_payload = json.loads((tmp_path / "BENCH_scenarios.json").read_text())
+        assert scenario_payload["matrix"] == "quick"
+        assert scenario_payload["n_scenarios"] == 2
+
+    def test_only_filter(self, tmp_path):
+        code = main(
+            ["bench", "--quick", "--only", "scenarios", "--results-dir", str(tmp_path)]
+        )
+        assert code == 0
+        assert (tmp_path / "BENCH_scenarios.json").exists()
+        assert not (tmp_path / "BENCH_solver.json").exists()
+
+    def test_unknown_bench_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["bench", "--only", "warp", "--results-dir", str(tmp_path)])
+
 
 class TestParser:
     def test_requires_subcommand(self):
@@ -66,3 +205,7 @@ class TestParser:
     def test_generate_requires_out(self):
         with pytest.raises(SystemExit):
             main(["generate"])
+
+    def test_scenarios_requires_action(self):
+        with pytest.raises(SystemExit):
+            main(["scenarios"])

@@ -99,3 +99,44 @@ class TestAcmpSystem:
 
     def test_config_ordering_is_deterministic(self, system):
         assert system.configurations() == system.configurations()
+
+
+class TestFrequencyCap:
+    def test_cap_restricts_every_cluster(self, system):
+        capped = system.with_frequency_cap(1100)
+        assert all(c.max_frequency_mhz <= 1100 for c in capped.clusters)
+        assert capped.name != system.name
+
+    def test_kept_operating_points_are_a_prefix(self, system):
+        capped = system.with_frequency_cap(1100)
+        for original, restricted in zip(system.clusters, capped.clusters):
+            expected = tuple(f for f in original.frequencies_mhz if f <= 1100)
+            assert restricted.frequencies_mhz == (expected or (original.min_frequency_mhz,))
+
+    def test_cluster_entirely_above_cap_keeps_minimum(self, system):
+        capped = system.with_frequency_cap(100)
+        for original, restricted in zip(system.clusters, capped.clusters):
+            assert restricted.frequencies_mhz == (original.min_frequency_mhz,)
+
+    def test_design_max_preserved_for_power_model(self, system):
+        capped = system.with_frequency_cap(1100)
+        for original, restricted in zip(system.clusters, capped.clusters):
+            if restricted.frequencies_mhz != original.frequencies_mhz:
+                assert restricted.design_max_frequency_mhz == original.max_frequency_mhz
+
+    def test_cap_above_ladder_returns_same_system(self, system):
+        assert system.with_frequency_cap(10_000) is system
+
+    def test_cap_must_be_positive(self, system):
+        with pytest.raises(ValueError):
+            system.with_frequency_cap(0)
+
+    def test_nominal_max_cannot_undercut_ladder(self):
+        with pytest.raises(ValueError):
+            Cluster(
+                name="X",
+                kind=ClusterKind.BIG,
+                core_count=1,
+                frequencies_mhz=(500, 1000),
+                nominal_max_frequency_mhz=800,
+            )

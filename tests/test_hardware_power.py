@@ -77,3 +77,26 @@ class TestPowerTablePersistence:
     def test_rejects_nonpositive_entries(self, system):
         with pytest.raises(ValueError):
             PowerTable(active_w={AcmpConfig("A15", 800): 0.0})
+
+
+class TestCappedSystemPower:
+    def test_capped_operating_point_draws_uncapped_power(self):
+        from repro.hardware.platforms import exynos_5410
+
+        model = PowerModel()
+        system = exynos_5410()
+        capped = system.with_frequency_cap(1100)
+        for config in capped.configurations():
+            assert model.active_power_w(capped, config) == pytest.approx(
+                model.active_power_w(system, config)
+            )
+
+    def test_capped_table_is_submap_of_full_table(self):
+        from repro.hardware.platforms import exynos_5410
+
+        model = PowerModel()
+        system = exynos_5410()
+        full = model.build_table(system)
+        capped = model.build_table(system.with_frequency_cap(1100))
+        for config, watts in capped.active_w.items():
+            assert watts == pytest.approx(full.power_w(config))

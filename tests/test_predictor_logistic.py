@@ -199,3 +199,48 @@ class TestSoftmax:
             SoftmaxRegression(n_classes=1)
         with pytest.raises(ValueError):
             SoftmaxRegression(n_classes=3, learning_rate=-1.0)
+
+
+class TestModelEquality:
+    """Value equality on fitted models (the PES cache compares learners)."""
+
+    @staticmethod
+    def _fitted_pair(model_cls):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(60, 4))
+        labels = rng.integers(0, 3, size=60)
+        a = model_cls(n_classes=3).fit(features, labels)
+        b = model_cls(n_classes=3).fit(features, labels)
+        return a, b
+
+    def test_identically_fitted_softmax_models_are_equal(self):
+        a, b = self._fitted_pair(SoftmaxRegression)
+        assert a == b
+        b.temperature = 0.5
+        assert a != b
+
+    def test_identically_fitted_ovr_models_are_equal(self):
+        a, b = self._fitted_pair(OneVsRestLogistic)
+        assert a == b
+        b.models[0].weights = b.models[0].weights + 1.0
+        assert a != b
+
+    def test_unfitted_differs_from_fitted(self):
+        a, _ = self._fitted_pair(SoftmaxRegression)
+        assert a != SoftmaxRegression(n_classes=3)
+        assert SoftmaxRegression(n_classes=3) == SoftmaxRegression(n_classes=3)
+
+    def test_cross_type_comparison_is_false_not_an_error(self):
+        a, _ = self._fitted_pair(SoftmaxRegression)
+        b, _ = self._fitted_pair(OneVsRestLogistic)
+        assert a != b
+
+    def test_deepcopied_learner_compares_equal(self, learner):
+        import copy
+
+        clone = copy.deepcopy(learner)
+        assert clone == learner
+        clone.confidence_threshold = 0.99
+        assert clone != learner

@@ -93,3 +93,124 @@ class TestParallelEvaluatorApi:
         evaluator = ParallelEvaluator(setup=setup, catalog=catalog, jobs=2)
         with pytest.raises(ValueError):
             evaluator.compare(eval_traces, ["Magic"])
+
+
+class TestMatrixEvaluation:
+    """evaluate_matrix: several setups through one pool, scenario-keyed."""
+
+    @pytest.fixture(scope="class")
+    def sweeps(self, setup, generator):
+        from repro.hardware.platforms import tegra_parker
+        from repro.runtime.parallel import MatrixSweep
+        from repro.runtime.simulator import SimulationSetup
+
+        cnn = [generator.generate("cnn", seed=601).slice(0, 8)]
+        google = [generator.generate("google", seed=602).slice(0, 8)]
+        return [
+            MatrixSweep(
+                key="exynos", setup=setup, traces=tuple(cnn), schemes=("Interactive", "EBS")
+            ),
+            MatrixSweep(
+                key="tegra",
+                setup=SimulationSetup(system=tegra_parker()),
+                traces=tuple(google),
+                schemes=("Interactive", "Ondemand"),
+            ),
+        ]
+
+    def test_serial_and_parallel_matrices_are_identical(self, catalog, sweeps):
+        from repro.runtime.parallel import ParallelEvaluator
+
+        serial = ParallelEvaluator(catalog=catalog, jobs=1).evaluate_matrix(
+            sweeps, keep_results=True
+        )
+        parallel = ParallelEvaluator(catalog=catalog, jobs=3).evaluate_matrix(
+            sweeps, keep_results=True
+        )
+        assert parallel.results == serial.results
+        assert parallel.aggregates == serial.aggregates
+
+    def test_per_key_setups_actually_differ(self, catalog, sweeps):
+        from repro.runtime.parallel import ParallelEvaluator
+
+        outcome = ParallelEvaluator(catalog=catalog, jobs=1).evaluate_matrix(
+            sweeps, keep_results=True
+        )
+        exynos_label = outcome.results["exynos"]["Interactive"][0].outcomes[0].config_label
+        tegra_label = outcome.results["tegra"]["Interactive"][0].outcomes[0].config_label
+        assert "A15" in exynos_label or "A7" in exynos_label
+        assert "A57" in tegra_label
+
+    def test_aggregates_match_per_cell_fold(self, catalog, sweeps):
+        from repro.runtime.parallel import ParallelEvaluator
+
+        outcome = ParallelEvaluator(catalog=catalog, jobs=1).evaluate_matrix(
+            sweeps, keep_results=True
+        )
+        for sweep in sweeps:
+            for scheme in sweep.schemes:
+                expected = aggregate_results(outcome.results[sweep.key][scheme])
+                assert outcome.aggregates[sweep.key][scheme].overall == expected
+
+    def test_duplicate_keys_rejected(self, catalog, sweeps):
+        from repro.runtime.parallel import ParallelEvaluator
+
+        with pytest.raises(ValueError, match="unique"):
+            ParallelEvaluator(catalog=catalog).evaluate_matrix([sweeps[0], sweeps[0]])
+
+    def test_pes_without_learner_rejected(self, catalog, setup, generator):
+        from repro.runtime.parallel import MatrixSweep, ParallelEvaluator
+
+        sweep = MatrixSweep(
+            key="k",
+            setup=setup,
+            traces=(generator.generate("cnn", seed=603).slice(0, 4),),
+            schemes=("PES",),
+        )
+        with pytest.raises(ValueError, match="learner"):
+            ParallelEvaluator(catalog=catalog).evaluate_matrix([sweep])
+
+    def test_unknown_scheme_rejected_at_sweep_construction(self, catalog, setup):
+        from repro.runtime.parallel import MatrixSweep
+
+        with pytest.raises(ValueError, match="scheme"):
+            MatrixSweep(key="k", setup=setup, traces=(), schemes=("Magic",))
+
+    def test_empty_traces_rejected_at_sweep_construction(self, setup):
+        from repro.runtime.parallel import MatrixSweep
+
+        with pytest.raises(ValueError, match="traces"):
+            MatrixSweep(key="k", setup=setup, traces=(), schemes=("Interactive",))
+
+    def test_empty_matrix(self, catalog):
+        from repro.runtime.parallel import ParallelEvaluator
+
+        outcome = ParallelEvaluator(catalog=catalog).evaluate_matrix([], keep_results=True)
+        assert outcome.aggregates == {}
+        assert outcome.results == {}
+
+
+class TestSpawnSafety:
+    """The pool paths must work under the spawn start method (macOS/Windows
+    default): nothing may rely on fork-inherited module state."""
+
+    def test_parallel_sweep_under_spawn_context(
+        self, monkeypatch, setup, catalog, generator
+    ):
+        import multiprocessing
+
+        from repro.runtime import parallel as parallel_module
+        from repro.runtime.parallel import ParallelEvaluator
+
+        monkeypatch.setattr(
+            parallel_module, "mp_context", lambda: multiprocessing.get_context("spawn")
+        )
+        traces = [generator.generate("cnn", seed=604).slice(0, 6)]
+        schemes = ["Interactive", "EBS"]
+        spawned = ParallelEvaluator(setup=setup, catalog=catalog, jobs=2).compare(
+            traces, schemes
+        )
+        serial = ParallelEvaluator(setup=setup, catalog=catalog, jobs=1).compare(
+            traces, schemes
+        )
+        assert spawned == serial

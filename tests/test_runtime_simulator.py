@@ -120,3 +120,48 @@ class TestSchedulerReuse:
         simulator.run_pes(small_trace, learner, PesConfig(confidence_threshold=0.9))
         second = simulator._pes_cache[small_trace.app_name][2]
         assert second is not first
+
+
+class TestPesCacheKeying:
+    """Regressions for the PES scheduler cache key (issue 3 satellite)."""
+
+    def test_none_config_and_explicit_default_share_entry(
+        self, setup, catalog, small_trace, learner
+    ):
+        simulator = Simulator(setup=setup, catalog=catalog)
+        first = simulator._pes_scheduler(small_trace.app_name, learner, None)
+        second = simulator._pes_scheduler(small_trace.app_name, learner, PesConfig())
+        assert second is first, "None must be normalised to the default PesConfig"
+
+    def test_equal_retrained_learner_reuses_scheduler(
+        self, setup, catalog, small_trace, learner
+    ):
+        import copy
+
+        simulator = Simulator(setup=setup, catalog=catalog)
+        first = simulator._pes_scheduler(small_trace.app_name, learner, None)
+        retrained = copy.deepcopy(learner)
+        assert retrained is not learner and retrained == learner
+        second = simulator._pes_scheduler(small_trace.app_name, retrained, None)
+        assert second is first, "an equal learner must hit the cache"
+
+    def test_unequal_config_still_rebuilds(self, setup, catalog, small_trace, learner):
+        simulator = Simulator(setup=setup, catalog=catalog)
+        first = simulator._pes_scheduler(small_trace.app_name, learner, None)
+        second = simulator._pes_scheduler(
+            small_trace.app_name, learner, PesConfig(confidence_threshold=0.9)
+        )
+        assert second is not first
+
+
+class TestNormalisedEnergyWarning:
+    def test_zero_energy_baseline_app_warns_instead_of_silent_drop(self):
+        from repro.runtime.metrics import SessionResult
+
+        empty = SessionResult(app_name="ghost", scheduler_name="Interactive")
+        empty_ebs = SessionResult(app_name="ghost", scheduler_name="EBS")
+        with pytest.warns(UserWarning, match="ghost"):
+            normalised = Simulator.normalised_energy_by_app(
+                {"Interactive": [empty], "EBS": [empty_ebs]}, baseline="Interactive"
+            )
+        assert normalised == {"Interactive": {}, "EBS": {}}

@@ -1,0 +1,95 @@
+"""Tests for the shared utilities, notably multiprocessing start-method policy."""
+
+from __future__ import annotations
+
+import pickle
+import sys
+
+import pytest
+
+from repro.utils import mp_context, pool_chunk_size, resolve_jobs, stable_seed
+
+
+class TestResolveJobs:
+    def test_none_and_zero_mean_cpu_count(self):
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) == resolve_jobs(None)
+
+    def test_positive_passthrough(self):
+        assert resolve_jobs(3) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+
+class TestMpContext:
+    """Fork is only safe to prefer on Linux (issue 3 satellite)."""
+
+    @pytest.mark.skipif(
+        "fork" not in __import__("multiprocessing").get_all_start_methods(),
+        reason="host has no fork start method",
+    )
+    def test_prefers_fork_on_linux(self, monkeypatch):
+        monkeypatch.setattr(sys, "platform", "linux")
+        assert mp_context().get_start_method() == "fork"
+
+    def test_darwin_does_not_fork(self, monkeypatch):
+        # CPython switched the darwin default to spawn in 3.8 because
+        # forking a multi-threaded process deadlocks; the repo must not
+        # override that back to fork.
+        monkeypatch.setattr(sys, "platform", "darwin")
+        assert mp_context().get_start_method() != "fork"
+
+    def test_win32_does_not_fork(self, monkeypatch):
+        monkeypatch.setattr(sys, "platform", "win32")
+        assert mp_context().get_start_method() != "fork"
+
+
+class TestSpawnSafety:
+    """Pool initargs and job payloads must survive pickling (spawn start)."""
+
+    def test_parallel_evaluator_initargs_are_picklable(self, setup, catalog, learner):
+        from repro.core.pes import PesConfig
+
+        restored_setup, restored_catalog, restored_learner, config = pickle.loads(
+            pickle.dumps((setup, catalog, learner, PesConfig()))
+        )
+        assert restored_setup.system.name == setup.system.name
+        assert len(restored_catalog) == len(catalog)
+        assert restored_learner == learner
+        assert config == PesConfig()
+
+    def test_trace_job_payload_is_picklable(self, generator):
+        trace = generator.generate("cnn", seed=7).slice(0, 6)
+        index, scheme, restored = pickle.loads(pickle.dumps((3, "EBS", trace)))
+        assert (index, scheme) == (3, "EBS")
+        assert restored == trace
+
+    def test_worker_functions_importable_by_reference(self):
+        # Spawned workers re-import the entry points; a lambda or closure
+        # here would break every non-fork platform.
+        from repro.runtime import parallel
+        from repro.traces import generator as trace_generator
+
+        for fn in (
+            parallel._init_worker,
+            parallel._run_job,
+            parallel._init_matrix_worker,
+            parallel._run_matrix_job,
+            trace_generator._init_generation_worker,
+            trace_generator._generate_one,
+        ):
+            module = sys.modules[fn.__module__]
+            assert getattr(module, fn.__qualname__) is fn
+
+
+class TestStableSeed:
+    def test_deterministic_and_nonzero(self):
+        assert stable_seed("cnn", 1) == stable_seed("cnn", 1)
+        assert stable_seed("cnn", 1) != stable_seed("cnn", 2)
+        assert stable_seed("cnn", 1) > 0
+
+    def test_chunk_size_bounds(self):
+        assert pool_chunk_size(0, 4) == 1
+        assert pool_chunk_size(1000, 4) >= 1
