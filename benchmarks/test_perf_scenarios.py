@@ -1,8 +1,9 @@
-"""Perf bench: wall-clock of the default scenario-matrix sweep.
+"""Perf benches: wall-clock of the scenario-matrix and platform-sweep runs.
 
 Marked ``perf`` and deselected from the default pytest run; writes
-``results/BENCH_scenarios.json``.  The assertions guard the matrix shape
-(the acceptance floor of 6 scenarios x 3 schemes) and the artefact schema;
+``results/BENCH_scenarios.json`` and ``results/BENCH_sweep.json``.  The
+assertions guard the matrix shapes (the acceptance floor of 6 scenarios x
+3 schemes; a multi-variant platform grid) and the artefact schema;
 wall-clock itself is recorded, not asserted — the CI perf job uploads the
 JSON so the trajectory stays comparable across PRs.
 """
@@ -11,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench import bench_scenarios, write_bench_json
+from repro.bench import bench_scenarios, bench_sweep, write_bench_json
 
 
 @pytest.mark.perf
@@ -23,4 +24,16 @@ def test_perf_scenario_matrix_sweep():
     assert result.extra["matrix"] == "default"
     assert result.extra["n_scenarios"] >= 6
     assert len(result.extra["schemes"]) >= 3
+    assert result.ops_per_sec > 0
+
+
+@pytest.mark.perf
+def test_perf_platform_sweep():
+    result = bench_sweep(jobs=2)
+    path = write_bench_json(result)
+    assert path.exists()
+    assert result.extra is not None
+    assert result.extra["n_variants"] >= 4
+    assert result.extra["n_scenarios"] == result.extra["n_variants"]
+    assert "cramped_chassis" in result.extra["thermal_models"]
     assert result.ops_per_sec > 0

@@ -13,6 +13,9 @@ Usage:
 
 ``jobs`` defaults to 1 (serial); any value produces bit-identical
 aggregates, only wall-clock changes.
+
+For sweeping platform *parameters* (core counts, little-cluster IPC,
+thermal throttling curves) see ``examples/platform_sweep.py``.
 """
 
 from __future__ import annotations

@@ -93,6 +93,84 @@ def scenario_energy_table(
     return format_table(["scenario"] + [f"{s} energy" for s in schemes], table_rows, min_width=10)
 
 
+def sweep_energy_table(
+    rows: Mapping[str, Mapping[str, AggregateMetrics]],
+    *,
+    baseline: str | None = None,
+) -> str:
+    """Per-platform-variant energy across a swept matrix.
+
+    Cells of a platform sweep are named ``variant/regime/mix``; this table
+    folds every cell of one variant together (total energy per scheme
+    summed over the variant's regimes and mixes) so the platform axis —
+    the thing the sweep varies — reads as one row per variant.  Scheme
+    columns are relative to the baseline scheme's summed energy; the
+    absolute baseline total is kept as its own column so rows remain
+    comparable across variants (a throttled variant can win relatively
+    while losing absolutely).
+    """
+    variant_totals: dict[str, dict[str, float]] = {}
+    variant_cells: dict[str, int] = {}
+    for cell, per_scheme in rows.items():
+        variant = cell.split("/", 1)[0]
+        totals = variant_totals.setdefault(variant, {})
+        variant_cells[variant] = variant_cells.get(variant, 0) + 1
+        for scheme, metrics in per_scheme.items():
+            totals[scheme] = totals.get(scheme, 0.0) + metrics.total_energy_mj
+
+    schemes = _scheme_columns(rows)
+    table_rows: list[list[object]] = []
+    for variant, totals in variant_totals.items():
+        base_scheme = baseline if baseline is not None else next(iter(totals))
+        base_energy = totals.get(base_scheme, 0.0)
+        cells: list[object] = [variant, variant_cells[variant]]
+        for scheme in schemes:
+            total = totals.get(scheme)
+            if total is None or base_energy <= 0:
+                cells.append("n/a")
+            else:
+                cells.append(format_percentage(total / base_energy))
+        cells.append(f"{base_energy:.0f}" if base_energy > 0 else "n/a")
+        table_rows.append(cells)
+    headers = (
+        ["variant", "cells"]
+        + [f"{s} energy" for s in schemes]
+        + [f"{baseline if baseline is not None else 'baseline'} (mJ)"]
+    )
+    return format_table(headers, table_rows, min_width=10)
+
+
+def sweep_platform_table(specs: Sequence) -> str:
+    """What each swept cell's platform actually is after derivation.
+
+    One row per :class:`~repro.scenarios.spec.ScenarioSpec`: the override
+    axes (core counts, little ``perf_scale``, thermal curve) and the
+    *effective* top frequency after the regime cap and the thermal
+    throttle have been applied — the column that shows what a thermal
+    curve did to each variant under each regime's heat-up dwell.
+    """
+    table_rows: list[list[object]] = []
+    for spec in specs:
+        system = spec.system()
+        big = system.big_cluster
+        little = system.little_cluster
+        table_rows.append(
+            [
+                spec.name,
+                big.core_count,
+                little.core_count,
+                f"{little.perf_scale:g}",
+                spec.thermal if spec.thermal is not None else "-",
+                big.max_frequency_mhz,
+            ]
+        )
+    return format_table(
+        ["scenario", "big", "little", "perf_scale", "thermal", "top MHz"],
+        table_rows,
+        min_width=6,
+    )
+
+
 def scenario_qos_table(rows: Mapping[str, Mapping[str, AggregateMetrics]]) -> str:
     """Per-scenario QoS violation rate of every scheme."""
     schemes = _scheme_columns(rows)

@@ -14,6 +14,10 @@ Four benches anchor the perf trajectory of the repo:
 * ``bench_scenarios`` — breadth: wall-clock of the ``default`` scenario
   matrix (``repro.scenarios``) fanned through ``evaluate_matrix``,
   recording scenario/replay counts so matrix regressions are attributable.
+* ``bench_sweep`` — platform breadth: wall-clock of a swept matrix
+  (core counts x little-cluster IPC x thermal curves expanded into derived
+  systems), the shape where per-cell setup cost — power tables, option
+  caches, thermal fixed points — dominates if it regresses.
 
 Each bench emits a JSON file under ``results/`` with the schema
 ``{name, ops_per_sec, wall_s, git_rev}`` so future PRs can regress against
@@ -297,6 +301,59 @@ def bench_scenarios(
     )
 
 
+def bench_sweep(jobs: int = 2, quick: bool = False) -> BenchResult:
+    """Wall-clock of a platform-parameter sweep (ops = scheme x trace replays).
+
+    Expands a core-count x perf_scale x thermal-curve grid into derived
+    systems and fans the whole swept matrix through ``evaluate_matrix``.
+    Scheme set is reactive-only so the bench isolates the sweep machinery
+    (per-variant simulators, power tables, thermal fixed points) from
+    predictor training.  ``quick`` shrinks the grid to two variants.
+    """
+    import os
+
+    from repro.scenarios import PlatformSweep, ScenarioMatrix, ScenarioRunner
+    from repro.utils import resolve_jobs
+
+    jobs = resolve_jobs(jobs)
+    sweep = PlatformSweep(
+        platforms=("exynos5410",),
+        big_core_counts=(None,) if quick else (None, 2),
+        perf_scales=(None,) if quick else (None, 0.3),
+        thermal_models=(None, "cramped_chassis") if quick else (None, "passive_phone", "cramped_chassis"),
+    )
+    matrix = ScenarioMatrix(
+        name="bench_sweep",
+        platform_sweep=sweep,
+        regimes=("default",),
+        app_mixes=("core",),
+        schemes=("Interactive", "EBS"),
+        seed=BENCH_SEED,
+    )
+    expanded = matrix.expand()
+    runner = ScenarioRunner(jobs=jobs)
+
+    start = time.perf_counter()
+    results = runner.run(expanded)
+    elapsed = time.perf_counter() - start
+    replays = sum(spec.n_sessions * len(spec.schemes) for spec in expanded)
+    return BenchResult(
+        name="sweep",
+        ops_per_sec=replays / elapsed,
+        wall_s=elapsed,
+        git_rev=git_rev(),
+        extra={
+            "jobs": jobs,
+            "cpu_count": os.cpu_count(),
+            "n_variants": sweep.n_variants,
+            "n_scenarios": len(results),
+            "n_replays": replays,
+            "thermal_models": [t for t in sweep.thermal_models if t is not None],
+            "schemes": list(matrix.schemes),
+        },
+    )
+
+
 #: Bench name -> factory taking the shared (jobs, quick) knobs.
 BENCHES = {
     "solver": lambda jobs, quick: bench_solver(min_duration_s=0.2 if quick else 3.0),
@@ -307,6 +364,7 @@ BENCHES = {
         schemes=("Interactive", "Ondemand", "EBS") if quick else ("Interactive", "Ondemand", "EBS", "Oracle"),
     ),
     "scenarios": lambda jobs, quick: bench_scenarios(jobs=jobs, quick=quick),
+    "sweep": lambda jobs, quick: bench_sweep(jobs=jobs, quick=quick),
 }
 
 

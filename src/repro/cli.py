@@ -5,8 +5,11 @@ Six subcommands cover the whole workflow:
 * ``generate``  — synthesise interaction traces and save them to JSON,
 * ``train``     — train the event predictor and report Fig. 8 accuracy,
 * ``evaluate``  — replay traces under the scheduling schemes (Figs. 11/12),
-* ``scenarios`` — list/run/compare declarative scenario matrices
-  (platform x session regime x app mix sweeps, ``repro.scenarios``),
+* ``scenarios`` — list/run/sweep/compare declarative scenario matrices
+  (platform x session regime x app mix sweeps, ``repro.scenarios``);
+  ``scenarios sweep`` cross-products platform *parameters* (core counts,
+  little-cluster ``perf_scale``, thermal throttling curves) into derived
+  systems and writes ``results/SCENARIOS_sweep_*.json``,
 * ``platforms`` — list the available hardware platform models,
 * ``bench``     — run the perf-regression benches (writes ``BENCH_*.json``).
 
@@ -17,12 +20,15 @@ Examples::
     python -m repro evaluate --apps cnn google --schemes Interactive EBS PES
     python -m repro scenarios list
     python -m repro scenarios run --matrix default --jobs 2
-    python -m repro bench --only scenarios
+    python -m repro scenarios sweep --big-cores 2 4 --thermal none passive_phone
+    python -m repro bench --only sweep
 
-``evaluate``, ``scenarios run``, and ``bench`` take ``--jobs N`` to fan the
-(scheme x trace) replays out over N worker processes (``--jobs 0`` = one
-per CPU); results are bit-identical for any worker count — see
-:mod:`repro.runtime.parallel`.
+``evaluate``, ``scenarios run``/``sweep``, and ``bench`` take ``--jobs N``
+to fan the (scheme x trace) replays out over N worker processes
+(``--jobs 0`` = one per CPU); results are bit-identical for any worker
+count — see :mod:`repro.runtime.parallel`.  The sweep artefact is a pure
+function of the matrix (no worker-count field), so two runs at different
+``--jobs`` produce byte-identical files.
 """
 
 from __future__ import annotations
@@ -50,6 +56,26 @@ def _positive_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _core_count_or_none(text: str) -> int | None:
+    """argparse type for sweep axes: a core count, or 'none' (keep the platform's)."""
+    if text.lower() == "none":
+        return None
+    return _positive_int(text)
+
+
+def _perf_scale_or_none(text: str) -> float | None:
+    """argparse type for sweep axes: a perf_scale in (0, 1], or 'none'."""
+    if text.lower() == "none":
+        return None
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number") from None
+    if not 0.0 < value <= 1.0:
+        raise argparse.ArgumentTypeError(f"perf_scale must be in (0, 1], got {value}")
     return value
 
 
@@ -128,6 +154,69 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="output JSON path (default: results/SCENARIOS_<name>.json)"
     )
 
+    from repro.hardware.thermal import list_thermal_models
+
+    scenarios_sweep = action.add_parser(
+        "sweep", help="sweep platform parameters (cores x perf_scale x thermal curves)"
+    )
+    scenarios_sweep.add_argument(
+        "--platforms", nargs="+", default=["exynos5410"], choices=list_platforms()
+    )
+    scenarios_sweep.add_argument(
+        "--big-cores",
+        nargs="+",
+        type=_core_count_or_none,
+        default=None,
+        help="big-cluster core counts to sweep ('none' keeps the platform's)",
+    )
+    scenarios_sweep.add_argument(
+        "--little-cores",
+        nargs="+",
+        type=_core_count_or_none,
+        default=None,
+        help="little-cluster core counts to sweep ('none' keeps the platform's)",
+    )
+    scenarios_sweep.add_argument(
+        "--perf-scales",
+        nargs="+",
+        type=_perf_scale_or_none,
+        default=None,
+        help="little-cluster relative IPC values to sweep ('none' keeps the platform's)",
+    )
+    scenarios_sweep.add_argument(
+        "--thermal",
+        nargs="+",
+        default=None,
+        choices=["none"] + list_thermal_models(),
+        help="thermal throttling curves to sweep ('none' = unthrottled)",
+    )
+    scenarios_sweep.add_argument(
+        "--regimes", nargs="+", default=["default"], help="session regimes to cross in"
+    )
+    scenarios_sweep.add_argument(
+        "--apps", nargs="+", default=["core"], help="app mixes to cross in"
+    )
+    scenarios_sweep.add_argument(
+        "--schemes", nargs="+", default=["Interactive", "EBS"], help="schemes to replay"
+    )
+    scenarios_sweep.add_argument("--traces-per-app", type=_positive_int, default=1)
+    scenarios_sweep.add_argument("--seed", type=int, default=500_000)
+    scenarios_sweep.add_argument(
+        "--name", default="custom", help="sweep name used in the artefact path"
+    )
+    scenarios_sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the sweep (0 = one per CPU; default 1, serial)",
+    )
+    scenarios_sweep.add_argument("--train-traces-per-app", type=_positive_int, default=4)
+    scenarios_sweep.add_argument(
+        "--out",
+        default=None,
+        help="output JSON path (default: results/SCENARIOS_sweep_<name>.json)",
+    )
+
     scenarios_compare = action.add_parser(
         "compare", help="render or diff saved SCENARIOS_*.json artefacts"
     )
@@ -149,7 +238,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--only",
         nargs="+",
         default=None,
-        choices=["solver", "compare", "parallel", "scenarios"],
+        choices=["solver", "compare", "parallel", "scenarios", "sweep"],
         help="run only these benches",
     )
     bench.add_argument(
@@ -238,6 +327,18 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_axis(values: Sequence | None) -> tuple:
+    """Normalise a sweep axis: ``None`` -> the keep-platform default axis;
+    literal ``'none'`` entries (the thermal axis goes through argparse
+    ``choices``, so they arrive unparsed) -> ``None`` cells."""
+    if values is None:
+        return (None,)
+    return tuple(
+        None if isinstance(value, str) and value.lower() == "none" else value
+        for value in values
+    )
+
+
 def _cmd_scenarios(args: argparse.Namespace) -> int:
     from repro.analysis.reporting import format_table, scenario_energy_table, scenario_qos_table
     from repro.scenarios import (
@@ -273,8 +374,11 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         print("matrices:")
         for name, matrix in sorted(MATRICES.items()):
             print(f"  {name:<18} {matrix.n_cells:>3} scenarios — {matrix.description}")
+        from repro.hardware.thermal import THERMAL_MODELS
+
         print(f"session regimes: {', '.join(sorted(SESSION_REGIMES))}")
         print(f"app mixes: {', '.join(sorted(APP_MIXES))}")
+        print(f"thermal models: {', '.join(sorted(THERMAL_MODELS))}")
         return 0
 
     if args.action == "run":
@@ -307,6 +411,62 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
 
             out = _default_results_dir() / f"SCENARIOS_{run_name}.json"
         path = write_results(results, out, matrix=run_name, jobs=jobs)
+        print(f"\nwrote {len(results)} scenario results to {path}")
+        return 0
+
+    if args.action == "sweep":
+        from repro.analysis.reporting import sweep_energy_table, sweep_platform_table
+        from repro.bench import _default_results_dir
+        from repro.scenarios import PlatformSweep, ScenarioMatrix
+        from repro.utils import resolve_jobs
+
+        try:
+            matrix = ScenarioMatrix(
+                name=f"sweep_{args.name}",
+                platform_sweep=PlatformSweep(
+                    platforms=tuple(args.platforms),
+                    big_core_counts=_sweep_axis(args.big_cores),
+                    little_core_counts=_sweep_axis(args.little_cores),
+                    perf_scales=_sweep_axis(args.perf_scales),
+                    thermal_models=_sweep_axis(args.thermal),
+                ),
+                regimes=tuple(args.regimes),
+                app_mixes=tuple(args.apps),
+                schemes=tuple(args.schemes),
+                traces_per_app=args.traces_per_app,
+                seed=args.seed,
+                description="ad-hoc platform-parameter sweep",
+            )
+            specs = matrix.expand()
+        except (KeyError, ValueError) as exc:
+            # Duplicate axis entries, unknown regimes/mixes/schemes: a usage
+            # error, not a traceback from deep inside the expansion.
+            raise SystemExit(f"scenarios sweep: {exc.args[0] if exc.args else exc}")
+        jobs = resolve_jobs(args.jobs)
+        runner = ScenarioRunner(jobs=jobs, train_traces_per_app=args.train_traces_per_app)
+        n_replays = sum(spec.n_sessions * len(spec.schemes) for spec in specs)
+        print(
+            f"sweeping {len(matrix.platform_variants())} platform variant(s), "
+            f"{len(specs)} scenario(s), {n_replays} session replay(s), {jobs} worker(s)..."
+        )
+        results = runner.run(specs)
+
+        rows = results_to_rows(results)
+        print(sweep_platform_table(specs))
+        print()
+        print(sweep_energy_table(rows))
+        print()
+        print(scenario_energy_table(rows))
+        print()
+        print(scenario_qos_table(rows))
+
+        out = args.out if args.out is not None else (
+            _default_results_dir() / f"SCENARIOS_sweep_{args.name}.json"
+        )
+        # The artefact is a pure function of the matrix: no jobs field, so
+        # --jobs 1 and --jobs 4 runs produce byte-identical files (the
+        # differential harness compares them with a plain dict ==).
+        path = write_results(results, out, matrix=matrix.name, jobs=None)
         print(f"\nwrote {len(results)} scenario results to {path}")
         return 0
 

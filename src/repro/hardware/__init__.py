@@ -13,8 +13,16 @@ from repro.hardware.energy import EnergyMeter, EnergyRecord, SwitchingCosts
 from repro.hardware.platforms import (
     exynos_5410,
     tegra_parker,
+    derive_platform,
     get_platform,
     list_platforms,
+)
+from repro.hardware.thermal import (
+    THERMAL_MODELS,
+    ThermalModel,
+    ThermalState,
+    get_thermal_model,
+    list_thermal_models,
 )
 
 __all__ = [
@@ -31,6 +39,12 @@ __all__ = [
     "SwitchingCosts",
     "exynos_5410",
     "tegra_parker",
+    "derive_platform",
     "get_platform",
     "list_platforms",
+    "THERMAL_MODELS",
+    "ThermalModel",
+    "ThermalState",
+    "get_thermal_model",
+    "list_thermal_models",
 ]

@@ -10,8 +10,14 @@ by :class:`AcmpConfig`.
 from __future__ import annotations
 
 import enum
+import re
 from dataclasses import dataclass, field, replace
 from typing import Iterator, Sequence
+
+#: Name suffix appended by :meth:`AcmpSystem.with_frequency_cap`.  Stripped
+#: before re-suffixing so repeated caps rewrite the tag instead of stacking
+#: ``@1100mhz@900mhz`` chains.
+_CAP_SUFFIX = re.compile(r"@\d+mhz$")
 
 
 class ClusterKind(enum.Enum):
@@ -52,10 +58,18 @@ class Cluster:
     #: draws exactly what it draws on the unconstrained platform.  ``None``
     #: means the ladder is complete and the top rung is the design maximum.
     nominal_max_frequency_mhz: int | None = None
+    #: Leakage-area multiplier relative to the cluster the power parameters
+    #: were calibrated for.  Platform-sweep variants that add or remove
+    #: cores scale this by ``new_core_count / calibrated_core_count``: the
+    #: events themselves are single-threaded, so extra cores change static
+    #: leakage and idle draw (more powered silicon), not dynamic power.
+    power_scale: float = 1.0
 
     def __post_init__(self) -> None:
         if self.core_count <= 0:
             raise ValueError("core_count must be positive")
+        if self.power_scale <= 0:
+            raise ValueError("power_scale must be positive")
         if not self.frequencies_mhz:
             raise ValueError("a cluster needs at least one frequency")
         if list(self.frequencies_mhz) != sorted(self.frequencies_mhz):
@@ -205,6 +219,11 @@ class AcmpSystem:
         little = self.little_cluster
         return AcmpConfig(little.name, little.min_frequency_mhz)
 
+    @property
+    def base_name(self) -> str:
+        """The system name with any ``@<cap>mhz`` throttle suffix removed."""
+        return _CAP_SUFFIX.sub("", self.name)
+
     def with_frequency_cap(self, cap_mhz: int) -> "AcmpSystem":
         """A copy of this system restricted to operating points <= ``cap_mhz``.
 
@@ -216,6 +235,15 @@ class AcmpSystem:
         (``nominal_max_frequency_mhz``), so the analytical power model
         charges a kept operating point exactly what the unconstrained
         platform would.
+
+        Capping is idempotent: successive caps compose as their minimum,
+        re-applying a cap that no longer removes any operating point
+        returns ``self`` (even on a ladder already collapsed to its
+        minimum frequency), and the ``@<cap>mhz`` name suffix is rewritten
+        rather than stacked.  Thermal throttling
+        (:mod:`repro.hardware.thermal`) re-applies caps on systems the
+        regime may already have capped, so the ``self``-return and
+        value-equality contracts are load-bearing, not cosmetic.
         """
         if cap_mhz <= 0:
             raise ValueError("cap_mhz must be positive")
@@ -225,16 +253,17 @@ class AcmpSystem:
             if kept == cluster.frequencies_mhz:
                 capped.append(cluster)
                 continue
-            capped.append(
-                replace(
-                    cluster,
-                    frequencies_mhz=kept or (cluster.min_frequency_mhz,),
-                    nominal_max_frequency_mhz=cluster.design_max_frequency_mhz,
-                )
+            candidate = replace(
+                cluster,
+                frequencies_mhz=kept or (cluster.min_frequency_mhz,),
+                nominal_max_frequency_mhz=cluster.design_max_frequency_mhz,
             )
+            # A ladder already collapsed to its minimum survives any lower
+            # cap unchanged; reuse the original so the no-op is detectable.
+            capped.append(cluster if candidate == cluster else candidate)
         if all(capped_c is original for capped_c, original in zip(capped, self.clusters)):
             return self
-        return AcmpSystem(name=f"{self.name}@{cap_mhz}mhz", clusters=tuple(capped))
+        return AcmpSystem(name=f"{self.base_name}@{cap_mhz}mhz", clusters=tuple(capped))
 
     def effective_frequency_ghz(self, config: AcmpConfig) -> float:
         """Frequency scaled by the cluster's relative IPC.

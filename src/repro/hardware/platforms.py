@@ -12,6 +12,8 @@ DVFS range plus the Denver2-class cluster abstracted as the big cluster.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.hardware.acmp import AcmpSystem, Cluster, ClusterKind
 
 
@@ -77,3 +79,94 @@ def get_platform(name: str) -> AcmpSystem:
             f"unknown platform {name!r}; available: {', '.join(list_platforms())}"
         ) from None
     return factory()
+
+
+def platform_override_tokens(
+    *,
+    big_cores: int | None = None,
+    little_cores: int | None = None,
+    little_perf_scale: float | None = None,
+) -> list[str]:
+    """Name tokens for platform-parameter overrides: ``b<N>``/``l<N>``/``ps<repr>``.
+
+    The single definition of the token grammar shared by derived
+    :class:`AcmpSystem` names and scenario-sweep cell labels
+    (:class:`repro.scenarios.sweep.PlatformVariant`).  ``perf_scale`` uses
+    ``repr`` — injective on floats — so two distinct values can never
+    produce the same token.
+    """
+    tokens: list[str] = []
+    if big_cores is not None:
+        tokens.append(f"b{big_cores}")
+    if little_cores is not None:
+        tokens.append(f"l{little_cores}")
+    if little_perf_scale is not None:
+        tokens.append(f"ps{little_perf_scale!r}")
+    return tokens
+
+
+def derive_platform(
+    base: AcmpSystem | str,
+    *,
+    big_cores: int | None = None,
+    little_cores: int | None = None,
+    little_perf_scale: float | None = None,
+) -> AcmpSystem:
+    """A named platform variant with swept parameters applied.
+
+    This is the platform-sweep building block: core counts and the little
+    cluster's relative IPC (``perf_scale``) become swept axes instead of
+    fixed properties of the two named SoCs.  Changing a core count scales
+    the cluster's ``power_scale`` by ``new / original`` — sessions are
+    single-threaded, so extra cores buy nothing on the latency side and
+    cost static leakage plus idle draw (the dark-silicon trade the sweep
+    exists to expose); ``little_perf_scale`` directly moves the big/little
+    IPC asymmetry the paper's scheduling problem is built on.
+
+    ``None`` leaves an axis at the platform's value; with every override
+    ``None`` (or equal to the current value) the base system is returned
+    unchanged.  The derived name appends one token per overridden axis
+    (``exynos5410+b2+l8+ps0.3``), keeping sweep artefacts self-describing.
+    """
+    system = get_platform(base) if isinstance(base, str) else base
+    if (big_cores is not None and big_cores <= 0) or (
+        little_cores is not None and little_cores <= 0
+    ):
+        raise ValueError("core counts must be positive")
+    clusters: list[Cluster] = []
+    for cluster in system.clusters:
+        derived = cluster
+        cores = big_cores if cluster.kind is ClusterKind.BIG else little_cores
+        if cores is not None and cores != cluster.core_count:
+            derived = replace(
+                derived,
+                core_count=cores,
+                power_scale=derived.power_scale * cores / cluster.core_count,
+            )
+        if (
+            cluster.kind is ClusterKind.LITTLE
+            and little_perf_scale is not None
+            and little_perf_scale != cluster.perf_scale
+        ):
+            derived = replace(derived, perf_scale=little_perf_scale)
+        clusters.append(derived)
+    if all(derived is original for derived, original in zip(clusters, system.clusters)):
+        return system
+    # One name token per axis that actually changed a cluster, so the same
+    # physical platform always carries the same self-describing name — an
+    # override equal to the platform's own value leaves no token behind.
+    changed_big = changed_little = changed_perf = None
+    for original, derived in zip(system.clusters, clusters):
+        if derived.core_count != original.core_count:
+            if original.kind is ClusterKind.BIG:
+                changed_big = derived.core_count
+            else:
+                changed_little = derived.core_count
+        if derived.perf_scale != original.perf_scale:
+            changed_perf = derived.perf_scale
+    tokens = platform_override_tokens(
+        big_cores=changed_big,
+        little_cores=changed_little,
+        little_perf_scale=changed_perf,
+    )
+    return AcmpSystem(name="+".join([system.name] + tokens), clusters=tuple(clusters))

@@ -125,11 +125,14 @@ class PowerModel:
         # Scale against the silicon's design maximum, not the (possibly
         # policy-capped) ladder top: a frequency-capped system draws exactly
         # the same power at a kept operating point as the unconstrained one.
+        # Static leakage scales with the cluster's powered silicon area
+        # (``power_scale``, varied by core-count sweeps); dynamic power is
+        # the one core actually executing the event and does not.
         ratio = config.frequency_mhz / cluster.design_max_frequency_mhz
-        return params.static_w + params.dynamic_coeff_w * ratio**params.exponent
+        return params.static_w * cluster.power_scale + params.dynamic_coeff_w * ratio**params.exponent
 
     def idle_power_w(self, system: AcmpSystem) -> float:
-        return sum(self.params_for(c).idle_w for c in system.clusters)
+        return sum(self.params_for(c).idle_w * c.power_scale for c in system.clusters)
 
     def build_table(self, system: AcmpSystem) -> PowerTable:
         """Measure (analytically) every configuration, like the paper's offline pass."""

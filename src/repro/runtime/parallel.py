@@ -117,6 +117,10 @@ class MatrixSweep:
         unknown = [scheme for scheme in self.schemes if scheme not in KNOWN_SCHEMES]
         if unknown:
             raise ValueError(f"unknown scheme {unknown[0]!r} in matrix sweep {self.key!r}")
+        if len(set(self.schemes)) != len(self.schemes):
+            # A duplicated scheme replays twice and double-counts its
+            # streamed aggregates.
+            raise ValueError(f"matrix sweep {self.key!r} lists a scheme twice")
         if not self.traces:
             # A zero-trace sweep would silently vanish from the aggregates
             # and surface as a KeyError in whoever indexes by sweep key.

@@ -37,11 +37,14 @@ from repro.scenarios.spec import (
     ScenarioSpec,
     resolve_app_mix,
 )
+from repro.scenarios.sweep import PlatformSweep, PlatformVariant
 
 __all__ = [
     "APP_MIXES",
     "BUILTIN_SCENARIOS",
     "MATRICES",
+    "PlatformSweep",
+    "PlatformVariant",
     "ScenarioMatrix",
     "ScenarioResult",
     "ScenarioRunner",

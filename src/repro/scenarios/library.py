@@ -12,11 +12,18 @@ The ``default`` matrix is sized to finish in minutes on one core while
 still covering both platforms and three qualitatively different regimes
 (6 scenarios x 3 schemes); ``full`` sweeps every regime on both platforms
 against seen *and* unseen app mixes for overnight breadth runs.
+
+``platform_sweep`` and ``thermal`` sweep platform *parameters* instead of
+named SoCs: core counts, little-cluster ``perf_scale``, and thermal
+throttling curves (:mod:`repro.hardware.thermal`) expand into derived
+systems via :class:`~repro.scenarios.sweep.PlatformSweep` — the same axes
+``python -m repro scenarios sweep`` exposes ad hoc.
 """
 
 from __future__ import annotations
 
 from repro.scenarios.spec import ScenarioMatrix, ScenarioSpec
+from repro.scenarios.sweep import PlatformSweep
 
 
 def _builtin_scenarios() -> dict[str, ScenarioSpec]:
@@ -58,6 +65,25 @@ def _builtin_scenarios() -> dict[str, ScenarioSpec]:
             apps="core",
             description="default sessions on the TX2-class platform (Sec. 6.5)",
         ),
+        ScenarioSpec(
+            name="network_limited",
+            regime="network_limited",
+            apps="news",
+            description="congested link: network time dominates event latency",
+        ),
+        ScenarioSpec(
+            name="fg_bg_switching",
+            regime="fg_bg_switching",
+            apps="mixed",
+            description="foreground bursts between long background lulls",
+        ),
+        ScenarioSpec(
+            name="hot_chassis",
+            regime="marathon",
+            apps="core",
+            thermal="cramped_chassis",
+            description="marathon sessions in a cramped chassis: deep thermal throttle",
+        ),
     ]
     return {spec.name: spec for spec in specs}
 
@@ -80,7 +106,15 @@ def _builtin_matrices() -> dict[str, ScenarioMatrix]:
         "regimes": ScenarioMatrix(
             name="regimes",
             platforms=("exynos5410",),
-            regimes=("default", "flash_crowd", "background_idle", "low_battery", "marathon"),
+            regimes=(
+                "default",
+                "flash_crowd",
+                "background_idle",
+                "low_battery",
+                "marathon",
+                "network_limited",
+                "fg_bg_switching",
+            ),
             app_mixes=("core",),
             schemes=("Interactive", "EBS", "PES"),
             traces_per_app=1,
@@ -89,7 +123,15 @@ def _builtin_matrices() -> dict[str, ScenarioMatrix]:
         "reactive": ScenarioMatrix(
             name="reactive",
             platforms=("exynos5410", "tegra_parker"),
-            regimes=("default", "flash_crowd", "background_idle", "low_battery", "marathon"),
+            regimes=(
+                "default",
+                "flash_crowd",
+                "background_idle",
+                "low_battery",
+                "marathon",
+                "network_limited",
+                "fg_bg_switching",
+            ),
             app_mixes=("core",),
             schemes=("Interactive", "Ondemand", "EBS"),
             traces_per_app=1,
@@ -98,11 +140,46 @@ def _builtin_matrices() -> dict[str, ScenarioMatrix]:
         "full": ScenarioMatrix(
             name="full",
             platforms=("exynos5410", "tegra_parker"),
-            regimes=("default", "flash_crowd", "background_idle", "low_battery", "marathon"),
+            regimes=(
+                "default",
+                "flash_crowd",
+                "background_idle",
+                "low_battery",
+                "marathon",
+                "network_limited",
+                "fg_bg_switching",
+            ),
             app_mixes=("seen", "unseen"),
             schemes=("Interactive", "Ondemand", "EBS", "PES"),
             traces_per_app=2,
-            description="the overnight breadth run: 20 scenarios, every scheme",
+            description="the overnight breadth run: 28 scenarios, every scheme",
+        ),
+        "platform_sweep": ScenarioMatrix(
+            name="platform_sweep",
+            platform_sweep=PlatformSweep(
+                platforms=("exynos5410",),
+                big_core_counts=(None, 2),
+                # Upward: a little cluster nearing big-core IPC starts
+                # winning scheduler placements; downward sweeps are inert
+                # for mixes the schedulers already keep on the big cluster.
+                perf_scales=(None, 0.9),
+                thermal_models=(None, "passive_phone", "cramped_chassis"),
+            ),
+            regimes=("default",),
+            app_mixes=("core",),
+            schemes=("Interactive", "EBS", "PES"),
+            description="platform parameters as the axis: cores x IPC x thermal curves",
+        ),
+        "thermal": ScenarioMatrix(
+            name="thermal",
+            platform_sweep=PlatformSweep(
+                platforms=("exynos5410",),
+                thermal_models=(None, "passive_phone", "cramped_chassis"),
+            ),
+            regimes=("flash_crowd", "marathon"),
+            app_mixes=("core",),
+            schemes=("Interactive", "EBS"),
+            description="throttle-dwell study: short bursts vs marathons per curve",
         ),
     }
 

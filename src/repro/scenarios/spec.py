@@ -1,10 +1,13 @@
 """Declarative scenario specifications and the matrix expander.
 
 A :class:`ScenarioSpec` names everything one evaluation cell needs — a
-platform, a session regime (:mod:`repro.traces.presets`), an app mix, the
-schemes to replay, and an optional PES tuning — without running anything.
-A :class:`ScenarioMatrix` is the cross-product of those axes; expanding it
-yields one spec per cell, ready to fan through
+platform (optionally with parameter overrides: core counts, little-cluster
+``perf_scale``, a thermal throttling curve), a session regime
+(:mod:`repro.traces.presets`), an app mix, the schemes to replay, and an
+optional PES tuning — without running anything.  A :class:`ScenarioMatrix`
+is the cross-product of those axes (the platform axis may be a
+:class:`~repro.scenarios.sweep.PlatformSweep`); expanding it yields one
+spec per cell, ready to fan through
 :meth:`repro.runtime.parallel.ParallelEvaluator.evaluate_matrix`.
 
 Everything here is data: validation happens at construction time so a bad
@@ -19,8 +22,8 @@ from itertools import product
 
 from repro.core.pes import PesConfig
 from repro.hardware.acmp import AcmpSystem
-from repro.hardware.platforms import get_platform, list_platforms
 from repro.runtime.simulator import KNOWN_SCHEMES
+from repro.scenarios.sweep import PlatformSweep, PlatformVariant
 from repro.traces.presets import SessionRegime, get_regime
 from repro.webapp.apps import SEEN_APPS, UNSEEN_APPS
 
@@ -62,7 +65,16 @@ def resolve_app_mix(apps: str | tuple[str, ...]) -> tuple[str, ...]:
 
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """One evaluation cell: platform x regime x app mix x schemes (+ PES)."""
+    """One evaluation cell: platform x regime x app mix x schemes (+ PES).
+
+    The platform axis is parameterisable: ``big_cores`` / ``little_cores``
+    / ``perf_scale`` derive a variant of the named platform
+    (:func:`repro.hardware.platforms.derive_platform`) and ``thermal``
+    names a throttling curve (:mod:`repro.hardware.thermal`) applied on
+    top of the regime's constraint.  All four default to ``None`` — the
+    unmodified named platform — so pre-sweep specs and artefacts are
+    unchanged.
+    """
 
     name: str
     platform: str = "exynos5410"
@@ -73,15 +85,19 @@ class ScenarioSpec:
     traces_per_app: int = 1
     seed: int = 500_000
     pes: PesConfig | None = None
+    #: Platform-parameter overrides (see :class:`~repro.scenarios.sweep.PlatformVariant`).
+    big_cores: int | None = None
+    little_cores: int | None = None
+    perf_scale: float | None = None
+    thermal: str | None = None
     description: str = ""
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("a scenario needs a name")
-        if self.platform not in list_platforms():
-            raise ValueError(
-                f"unknown platform {self.platform!r}; available: {', '.join(list_platforms())}"
-            )
+        # Building the variant validates platform name, core counts,
+        # perf_scale range, and the thermal-model name in one place.
+        self.platform_variant()
         get_regime(self.regime)  # raises KeyError with the available names
         resolve_app_mix(self.apps)
         if not self.schemes:
@@ -89,6 +105,10 @@ class ScenarioSpec:
         unknown = [scheme for scheme in self.schemes if scheme not in KNOWN_SCHEMES]
         if unknown:
             raise ValueError(f"unknown scheme {unknown[0]!r} in scenario {self.name!r}")
+        if len(set(self.schemes)) != len(self.schemes):
+            # A duplicated scheme would replay twice and silently double
+            # every streamed aggregate (sessions, energy) for that scheme.
+            raise ValueError(f"scenario {self.name!r} lists a scheme twice")
         if self.traces_per_app < 1:
             raise ValueError("traces_per_app must be >= 1")
 
@@ -100,9 +120,34 @@ class ScenarioSpec:
     def resolved_regime(self) -> SessionRegime:
         return get_regime(self.regime)
 
+    def platform_variant(self) -> PlatformVariant:
+        """The spec's platform overrides as a sweep variant."""
+        return PlatformVariant(
+            platform=self.platform,
+            big_cores=self.big_cores,
+            little_cores=self.little_cores,
+            perf_scale=self.perf_scale,
+            thermal=self.thermal,
+        )
+
     def system(self) -> AcmpSystem:
-        """The platform with the regime's hardware constraint applied."""
-        return self.resolved_regime().constrain(get_platform(self.platform))
+        """The derived platform with regime and thermal constraints applied.
+
+        Order: parameter overrides first, then the regime's frequency cap,
+        then the thermal throttle (hottest constraint wins — successive
+        caps compose as their minimum and are idempotent).  The thermal
+        heat-up dwell is the regime's target session length, so short
+        regimes throttle less than marathons under the same curve.
+        """
+        variant = self.platform_variant()
+        regime = self.resolved_regime()
+        system = regime.constrain(variant.derived_system())
+        model = variant.thermal_model()
+        if model is not None:
+            system = model.constrain(
+                system, dwell_s=regime.session.target_duration_ms / 1000.0
+            )
+        return system
 
     @property
     def baseline(self) -> str:
@@ -126,6 +171,10 @@ class ScenarioSpec:
             "traces_per_app": self.traces_per_app,
             "seed": self.seed,
             "pes": asdict(self.pes) if self.pes is not None else None,
+            "big_cores": self.big_cores,
+            "little_cores": self.little_cores,
+            "perf_scale": self.perf_scale,
+            "thermal": self.thermal,
             "description": self.description,
         }
 
@@ -142,6 +191,10 @@ class ScenarioSpec:
             traces_per_app=int(payload.get("traces_per_app", 1)),
             seed=int(payload.get("seed", 500_000)),
             pes=PesConfig(**pes) if pes is not None else None,
+            big_cores=payload.get("big_cores"),
+            little_cores=payload.get("little_cores"),
+            perf_scale=payload.get("perf_scale"),
+            thermal=payload.get("thermal"),
             description=payload.get("description", ""),
         )
 
@@ -153,14 +206,28 @@ class ScenarioMatrix:
     Cell names are ``platform/regime/mix`` (with a ``pes<i>`` suffix when
     several PES configs are swept), so a matrix run's artefacts stay
     self-describing.
+
+    The platform axis comes in two strengths: ``platforms`` names fixed
+    SoCs, while ``platform_sweep`` cross-products platform *parameters*
+    (core counts, little-cluster ``perf_scale``, thermal curves) into
+    derived variants.  When a sweep is given it replaces the ``platforms``
+    axis and cell names lead with the variant label
+    (``exynos5410+b2+th.passive_phone/default/core``) — every variant gets
+    its own cell key and therefore its own worker-local simulator in
+    :meth:`~repro.runtime.parallel.ParallelEvaluator.evaluate_matrix`.
     """
 
     name: str
-    platforms: tuple[str, ...] = ("exynos5410",)
+    #: ``None`` (the default) resolves to the primary platform unless a
+    #: ``platform_sweep`` supplies the axis instead — a ``None`` sentinel
+    #: rather than a default tuple, so *explicitly* passing ``platforms``
+    #: together with a sweep is always detected as a conflict.
+    platforms: tuple[str, ...] | None = None
     regimes: tuple[str, ...] = ("default",)
     app_mixes: tuple[str, ...] = ("core",)
     schemes: tuple[str, ...] = ("Interactive", "EBS", "PES")
     pes_configs: tuple[PesConfig | None, ...] = (None,)
+    platform_sweep: PlatformSweep | None = None
     traces_per_app: int = 1
     seed: int = 500_000
     description: str = ""
@@ -169,7 +236,6 @@ class ScenarioMatrix:
         if not self.name:
             raise ValueError("a matrix needs a name")
         for axis_name, axis in (
-            ("platforms", self.platforms),
             ("regimes", self.regimes),
             ("app_mixes", self.app_mixes),
             ("schemes", self.schemes),
@@ -177,11 +243,32 @@ class ScenarioMatrix:
         ):
             if not axis:
                 raise ValueError(f"matrix {self.name!r} has an empty {axis_name} axis")
+            # A duplicated axis entry expands to colliding cell names (or a
+            # twice-replayed scheme), corrupting aggregates downstream.
+            if any(axis[i] in axis[:i] for i in range(1, len(axis))):
+                raise ValueError(f"matrix {self.name!r} {axis_name} axis has duplicate entries")
+        if self.platforms is not None:
+            if not self.platforms:
+                raise ValueError(f"matrix {self.name!r} has an empty platforms axis")
+            if len(set(self.platforms)) != len(self.platforms):
+                raise ValueError(f"matrix {self.name!r} platforms axis has duplicate entries")
+        if self.platforms is not None and self.platform_sweep is not None:
+            raise ValueError(
+                f"matrix {self.name!r} sets both platforms and platform_sweep; "
+                "put the swept platforms inside the sweep"
+            )
+
+    def platform_variants(self) -> list[PlatformVariant]:
+        """The platform axis as variants (plain platforms when not sweeping)."""
+        if self.platform_sweep is not None:
+            return self.platform_sweep.variants()
+        platforms = self.platforms if self.platforms is not None else ("exynos5410",)
+        return [PlatformVariant(platform=platform) for platform in platforms]
 
     @property
     def n_cells(self) -> int:
         return (
-            len(self.platforms)
+            len(self.platform_variants())
             * len(self.regimes)
             * len(self.app_mixes)
             * len(self.pes_configs)
@@ -190,26 +277,70 @@ class ScenarioMatrix:
     def expand(self) -> list[ScenarioSpec]:
         """One validated :class:`ScenarioSpec` per cell, deterministic order."""
         specs: list[ScenarioSpec] = []
-        for platform, regime, mix, (pes_index, pes) in product(
-            self.platforms,
+        for variant, regime, mix, (pes_index, pes) in product(
+            self.platform_variants(),
             self.regimes,
             self.app_mixes,
             enumerate(self.pes_configs),
         ):
-            cell = f"{platform}/{regime}/{mix}"
+            cell = f"{variant.label}/{regime}/{mix}"
             if len(self.pes_configs) > 1:
                 cell += f"/pes{pes_index}"
             specs.append(
                 ScenarioSpec(
                     name=cell,
-                    platform=platform,
+                    platform=variant.platform,
                     regime=regime,
                     apps=mix,
                     schemes=self.schemes,
                     traces_per_app=self.traces_per_app,
                     seed=self.seed,
                     pes=pes,
+                    big_cores=variant.big_cores,
+                    little_cores=variant.little_cores,
+                    perf_scale=variant.perf_scale,
+                    thermal=variant.thermal,
                     description=self.description,
                 )
             )
         return specs
+
+    # -- serialisation ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "platforms": list(self.platforms) if self.platforms is not None else None,
+            "regimes": list(self.regimes),
+            "app_mixes": list(self.app_mixes),
+            "schemes": list(self.schemes),
+            "pes_configs": [
+                asdict(pes) if pes is not None else None for pes in self.pes_configs
+            ],
+            "platform_sweep": (
+                self.platform_sweep.to_dict() if self.platform_sweep is not None else None
+            ),
+            "traces_per_app": self.traces_per_app,
+            "seed": self.seed,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ScenarioMatrix":
+        sweep = payload.get("platform_sweep")
+        platforms = payload.get("platforms")
+        return cls(
+            name=payload["name"],
+            platforms=tuple(platforms) if platforms is not None else None,
+            regimes=tuple(payload.get("regimes", ("default",))),
+            app_mixes=tuple(payload.get("app_mixes", ("core",))),
+            schemes=tuple(payload.get("schemes", ("Interactive", "EBS", "PES"))),
+            pes_configs=tuple(
+                PesConfig(**pes) if pes is not None else None
+                for pes in payload.get("pes_configs", (None,))
+            ),
+            platform_sweep=PlatformSweep.from_dict(sweep) if sweep is not None else None,
+            traces_per_app=int(payload.get("traces_per_app", 1)),
+            seed=int(payload.get("seed", 500_000)),
+            description=payload.get("description", ""),
+        )

@@ -1,0 +1,246 @@
+"""Platform-parameter sweeps: the platform itself as a scenario axis.
+
+Every scenario before this module named one of two fixed SoCs.  A
+:class:`PlatformSweep` instead cross-products platform *parameters* —
+base platform, big/little core counts, the little cluster's relative IPC
+(``perf_scale``), and a thermal throttling curve
+(:mod:`repro.hardware.thermal`) — into :class:`PlatformVariant` cells.
+Each variant derives a concrete :class:`~repro.hardware.acmp.AcmpSystem`
+via :func:`~repro.hardware.platforms.derive_platform` plus
+:meth:`~repro.hardware.thermal.ThermalModel.constrain`, and labels itself
+(``exynos5410+b2+ps0.3+th.passive_phone``) so swept matrix cells stay
+unique and self-describing — the label is what keys worker-local simulator
+caches in :meth:`~repro.runtime.parallel.ParallelEvaluator.evaluate_matrix`,
+so two variants that differ in any override never share a simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+
+from repro.hardware.acmp import AcmpSystem
+from repro.hardware.platforms import (
+    derive_platform,
+    get_platform,
+    list_platforms,
+    platform_override_tokens,
+)
+from repro.hardware.thermal import ThermalModel, get_thermal_model, list_thermal_models
+
+
+@dataclass(frozen=True)
+class PlatformVariant:
+    """One point of a platform sweep: a base platform plus overrides.
+
+    ``None`` fields keep the base platform's value.  ``perf_scale``
+    overrides the *little* cluster's relative IPC (the big cluster defines
+    1.0); ``thermal`` names a curve from
+    :data:`repro.hardware.thermal.THERMAL_MODELS`.
+    """
+
+    platform: str = "exynos5410"
+    big_cores: int | None = None
+    little_cores: int | None = None
+    perf_scale: float | None = None
+    thermal: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.platform not in list_platforms():
+            raise ValueError(
+                f"unknown platform {self.platform!r}; available: {', '.join(list_platforms())}"
+            )
+        for label, cores in (("big_cores", self.big_cores), ("little_cores", self.little_cores)):
+            if cores is not None and cores < 1:
+                raise ValueError(f"{label} must be >= 1")
+        if self.perf_scale is not None and not 0.0 < self.perf_scale <= 1.0:
+            raise ValueError("perf_scale must be in (0, 1]")
+        if self.thermal is not None:
+            get_thermal_model(self.thermal)  # raises KeyError with the available names
+
+    @property
+    def label(self) -> str:
+        """Unique cell label: platform plus one ``+token`` per override.
+
+        Tokens come from :func:`~repro.hardware.platforms.platform_override_tokens`
+        (the same grammar derived system names use; ``ps`` is ``repr``-based
+        and therefore injective on floats), plus a ``th.<curve>`` token for
+        the thermal axis — so distinct variants can never collide on
+        cell name.
+        """
+        tokens = [self.platform] + platform_override_tokens(
+            big_cores=self.big_cores,
+            little_cores=self.little_cores,
+            little_perf_scale=self.perf_scale,
+        )
+        if self.thermal is not None:
+            tokens.append(f"th.{self.thermal}")
+        return "+".join(tokens)
+
+    @property
+    def is_base_platform(self) -> bool:
+        return (
+            self.big_cores is None
+            and self.little_cores is None
+            and self.perf_scale is None
+            and self.thermal is None
+        )
+
+    def thermal_model(self) -> ThermalModel | None:
+        return get_thermal_model(self.thermal) if self.thermal is not None else None
+
+    def derived_system(self) -> AcmpSystem:
+        """The base platform with the parameter overrides applied (no thermal).
+
+        This is the single derivation path: :meth:`ScenarioSpec.system`
+        composes it with the regime's cap and the thermal throttle, and
+        :meth:`system` composes it with the thermal throttle alone.
+        """
+        return derive_platform(
+            get_platform(self.platform),
+            big_cores=self.big_cores,
+            little_cores=self.little_cores,
+            little_perf_scale=self.perf_scale,
+        )
+
+    def system(self, *, thermal_dwell_s: float | None = None) -> AcmpSystem:
+        """Derive the concrete platform (thermal throttle applied last).
+
+        ``thermal_dwell_s`` bounds the heat-up time (a session's length):
+        short sessions never reach the steady-state temperature, so the
+        same curve throttles a marathon harder than a flash-crowd burst.
+        """
+        system = self.derived_system()
+        model = self.thermal_model()
+        if model is not None:
+            system = model.constrain(system, dwell_s=thermal_dwell_s)
+        return system
+
+    # -- serialisation ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "platform": self.platform,
+            "big_cores": self.big_cores,
+            "little_cores": self.little_cores,
+            "perf_scale": self.perf_scale,
+            "thermal": self.thermal,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PlatformVariant":
+        return cls(
+            platform=payload.get("platform", "exynos5410"),
+            big_cores=payload.get("big_cores"),
+            little_cores=payload.get("little_cores"),
+            perf_scale=payload.get("perf_scale"),
+            thermal=payload.get("thermal"),
+        )
+
+
+@dataclass(frozen=True)
+class PlatformSweep:
+    """Cross-product of platform parameters, one :class:`PlatformVariant` per cell.
+
+    Any axis may hold ``None`` entries ("keep the platform's value"), so a
+    sweep can include the unmodified baseline alongside its variants.
+    Expansion order is deterministic: platforms outermost, then big cores,
+    little cores, perf scales, thermal models.
+    """
+
+    platforms: tuple[str, ...] = ("exynos5410",)
+    big_core_counts: tuple[int | None, ...] = (None,)
+    little_core_counts: tuple[int | None, ...] = (None,)
+    perf_scales: tuple[float | None, ...] = (None,)
+    thermal_models: tuple[str | None, ...] = (None,)
+    _variants: tuple[PlatformVariant, ...] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        for axis_name, axis in (
+            ("platforms", self.platforms),
+            ("big_core_counts", self.big_core_counts),
+            ("little_core_counts", self.little_core_counts),
+            ("perf_scales", self.perf_scales),
+            ("thermal_models", self.thermal_models),
+        ):
+            if not axis:
+                raise ValueError(f"platform sweep has an empty {axis_name} axis")
+            if len(set(axis)) != len(axis):
+                raise ValueError(f"platform sweep {axis_name} axis has duplicate entries")
+        # Expand once, eagerly: a bad axis value fails here (before any
+        # matrix is built), and every later variants()/n_variants access —
+        # matrix validation, n_cells, expand, CLI summaries — reuses the
+        # cached tuple instead of re-deriving the cross-product.
+        object.__setattr__(self, "_variants", tuple(self._expand_variants()))
+
+    @property
+    def n_variants(self) -> int:
+        """Distinct variants after per-platform normalisation (see :meth:`variants`)."""
+        return len(self._variants)
+
+    def variants(self) -> list[PlatformVariant]:
+        """One validated :class:`PlatformVariant` per cell, deterministic order.
+
+        Overrides equal to a platform's own value are normalised to ``None``
+        per platform, and cells that collapse to the same variant are
+        deduplicated (first occurrence wins).  So
+        ``big_core_counts=(None, 4)`` on the 4-big-core Exynos yields one
+        baseline cell, not two identically-derived cells under different
+        labels — while the same axis still produces a real variant on a
+        platform whose big cluster is not 4 cores.
+        """
+        return list(self._variants)
+
+    def _expand_variants(self) -> list[PlatformVariant]:
+        seen: set[PlatformVariant] = set()
+        variants: list[PlatformVariant] = []
+        for platform, big, little, perf, thermal in product(
+            self.platforms,
+            self.big_core_counts,
+            self.little_core_counts,
+            self.perf_scales,
+            self.thermal_models,
+        ):
+            base = get_platform(platform)
+            if big == base.big_cluster.core_count:
+                big = None
+            if little == base.little_cluster.core_count:
+                little = None
+            if perf == base.little_cluster.perf_scale:
+                perf = None
+            variant = PlatformVariant(
+                platform=platform,
+                big_cores=big,
+                little_cores=little,
+                perf_scale=perf,
+                thermal=thermal,
+            )
+            if variant in seen:
+                continue
+            seen.add(variant)
+            variants.append(variant)
+        return variants
+
+    # -- serialisation ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "platforms": list(self.platforms),
+            "big_core_counts": list(self.big_core_counts),
+            "little_core_counts": list(self.little_core_counts),
+            "perf_scales": list(self.perf_scales),
+            "thermal_models": list(self.thermal_models),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PlatformSweep":
+        return cls(
+            platforms=tuple(payload.get("platforms", ("exynos5410",))),
+            big_core_counts=tuple(payload.get("big_core_counts", (None,))),
+            little_core_counts=tuple(payload.get("little_core_counts", (None,))),
+            perf_scales=tuple(payload.get("perf_scales", (None,))),
+            thermal_models=tuple(payload.get("thermal_models", (None,))),
+        )
+
+
+__all__ = ["PlatformSweep", "PlatformVariant", "list_thermal_models"]

@@ -31,6 +31,15 @@ The built-in regimes cover the breadth the evaluation was missing:
 ``marathon``
     A long mixed browsing day: maximum-length sessions with heavier pages,
     the shape that stresses streaming aggregation and scheduler reuse.
+``network_limited``
+    A congested or metered link: page loads wait on the network, so the
+    frequency-invariant memory/network time (``Tmem``) dominates and racing
+    the CPU buys little — the regime where reactive boosting wastes most.
+``fg_bg_switching``
+    The user bounces between the browser and other apps: short foreground
+    bursts separated by long background lulls, with frequent re-entry
+    navigations.  High think-time variance makes arrival times hard to
+    anticipate, stressing the predictor's arrival conservatism.
 """
 
 from __future__ import annotations
@@ -47,20 +56,28 @@ from repro.webapp.events import Interaction
 def scaled_workloads(
     scale: float,
     base: Mapping[Interaction, WorkloadParams] | None = None,
+    *,
+    tmem_scale: float | None = None,
 ) -> dict[Interaction, WorkloadParams]:
     """Workload parameters with every median scaled by ``scale``.
 
     Sigmas are left untouched: the regime changes how heavy events are, not
-    how variable they are.
+    how variable they are.  ``tmem_scale`` overrides the factor applied to
+    the frequency-invariant memory/network time, letting regimes shift the
+    compute-vs-network balance (``network_limited`` inflates ``Tmem`` alone,
+    so higher frequencies stop buying latency).
     """
     if scale <= 0:
         raise ValueError("scale must be positive")
+    tmem = scale if tmem_scale is None else tmem_scale
+    if tmem <= 0:
+        raise ValueError("tmem_scale must be positive")
     source = base if base is not None else INTERACTION_WORKLOADS
     return {
         interaction: replace(
             params,
             ndep_median_mcycles=params.ndep_median_mcycles * scale,
-            tmem_median_ms=params.tmem_median_ms * scale,
+            tmem_median_ms=params.tmem_median_ms * tmem,
             heavy_ndep_mcycles=params.heavy_ndep_mcycles * scale,
         )
         for interaction, params in source.items()
@@ -157,6 +174,42 @@ def _builtin_regimes() -> dict[str, SessionRegime]:
             ),
             workload_params=scaled_workloads(1.1),
             description="long mixed browsing days at maximum session length",
+        ),
+        "network_limited": SessionRegime(
+            name="network_limited",
+            session=SessionConfig(
+                target_duration_ms=140_000.0,
+                # Loads stall on the network, so users wait longer before
+                # the next input and re-navigate more (retries, redirects).
+                think_after_load_ms=5_500.0,
+                navigation_probability=0.22,
+            ),
+            # Tmem (frequency-invariant network/memory stalls) triples while
+            # CPU-dependent work stays nominal: the latency floor moves to
+            # the link, and boosting frequency mostly burns power.
+            workload_params=scaled_workloads(1.0, tmem_scale=3.0),
+            description="congested link: network time dominates, boosting buys little",
+        ),
+        "fg_bg_switching": SessionRegime(
+            name="fg_bg_switching",
+            session=SessionConfig(
+                target_duration_ms=240_000.0,
+                max_events=50,
+                min_events=12,
+                # Foreground bursts: tap chains as tight as flash_crowd...
+                think_tap_after_move_ms=350.0,
+                think_tap_after_tap_ms=300.0,
+                # ...separated by long background lulls (the user is in
+                # another app) before the next burst or re-entry load.
+                think_tap_ms=25_000.0,
+                think_after_load_ms=1_500.0,
+                move_start_gap_ms=20_000.0,
+                # Bursty-vs-idle bimodality: high sigma stretches the gap
+                # distribution's tails in both directions.
+                think_sigma=0.95,
+                navigation_probability=0.3,
+            ),
+            description="foreground bursts between long background lulls",
         ),
     }
 

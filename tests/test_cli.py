@@ -113,6 +113,8 @@ class TestScenariosCommand:
         assert "flash_crowd" in output
         assert "matrices:" in output
         assert "session regimes:" in output
+        assert "thermal models:" in output
+        assert "cramped_chassis" in output
 
     def test_list_matrix_expansion(self, capsys):
         assert main(["scenarios", "list", "--matrix", "default"]) == 0
@@ -157,6 +159,73 @@ class TestScenariosCommand:
         assert "B vs A" in diff
         assert "+0.0%" in diff
 
+    def test_sweep_writes_jobs_independent_artefact(self, tmp_path, capsys):
+        args = [
+            "scenarios",
+            "sweep",
+            "--big-cores",
+            "none",
+            "2",
+            "--thermal",
+            "none",
+            "constant_1100",
+            "--schemes",
+            "Interactive",
+            "EBS",
+            "--name",
+            "clitest",
+        ]
+        out_serial = tmp_path / "serial.json"
+        assert main(args + ["--jobs", "1", "--out", str(out_serial)]) == 0
+        output = capsys.readouterr().out
+        assert "platform variant(s)" in output
+        assert "exynos5410+b2+th.constant_1100/default/core" in output
+        assert "variant" in output  # the sweep pivot table
+
+        out_parallel = tmp_path / "parallel.json"
+        assert main(args + ["--jobs", "2", "--out", str(out_parallel)]) == 0
+        # Acceptance: the artefact is byte-identical for any --jobs value.
+        assert out_serial.read_bytes() == out_parallel.read_bytes()
+
+        payload = json.loads(out_serial.read_text())
+        assert payload["matrix"] == "sweep_clitest"
+        assert payload["jobs"] is None
+        assert payload["n_scenarios"] == 4
+        specs = [entry["spec"] for entry in payload["scenarios"]]
+        assert {spec["thermal"] for spec in specs} == {None, "constant_1100"}
+
+    def test_sweep_default_out_path_uses_name(self, tmp_path, monkeypatch, capsys):
+        import repro.bench as bench
+
+        monkeypatch.setattr(bench, "_default_results_dir", lambda: tmp_path)
+        assert main(["scenarios", "sweep", "--name", "defaultpath"]) == 0
+        assert (tmp_path / "SCENARIOS_sweep_defaultpath.json").exists()
+
+    def test_sweep_rejects_bad_axis_values_at_parse_time(self):
+        # Unknown curves and malformed numbers are argparse usage errors,
+        # not raw tracebacks from deep inside the sweep expansion.
+        with pytest.raises(SystemExit):
+            main(["scenarios", "sweep", "--thermal", "liquid_nitrogen"])
+        with pytest.raises(SystemExit):
+            main(["scenarios", "sweep", "--big-cores", "two"])
+        with pytest.raises(SystemExit):
+            main(["scenarios", "sweep", "--perf-scales", "1.5"])
+
+    def test_sweep_rejects_duplicates_and_unknown_axes_cleanly(self):
+        # Values that only fail at matrix construction (duplicate axis
+        # entries, unknown regimes/mixes) exit cleanly too.
+        with pytest.raises(SystemExit, match="duplicate"):
+            main(["scenarios", "sweep", "--thermal", "none", "none"])
+        with pytest.raises(SystemExit, match="duplicate"):
+            main(["scenarios", "sweep", "--regimes", "default", "default"])
+        with pytest.raises(SystemExit, match="duplicate"):
+            main(["scenarios", "sweep", "--schemes", "EBS", "EBS"])
+        with pytest.raises(SystemExit, match="regime"):
+            main(["scenarios", "sweep", "--regimes", "hyperdrive"])
+        with pytest.raises(SystemExit, match="app mix"):
+            main(["scenarios", "sweep", "--apps", "everything"])
+
+
     def test_compare_rejects_three_files(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["scenarios", "compare", "a", "b", "c"])
@@ -174,7 +243,7 @@ class TestBenchCommand:
     def test_quick_bench_writes_all_artefacts(self, tmp_path, capsys):
         code = main(["bench", "--quick", "--jobs", "2", "--results-dir", str(tmp_path)])
         assert code == 0
-        for name in ("solver", "compare", "parallel", "scenarios"):
+        for name in ("solver", "compare", "parallel", "scenarios", "sweep"):
             path = tmp_path / f"BENCH_{name}.json"
             assert path.exists(), f"missing {path.name}"
             payload = json.loads(path.read_text())
@@ -183,6 +252,9 @@ class TestBenchCommand:
         scenario_payload = json.loads((tmp_path / "BENCH_scenarios.json").read_text())
         assert scenario_payload["matrix"] == "quick"
         assert scenario_payload["n_scenarios"] == 2
+        sweep_payload = json.loads((tmp_path / "BENCH_sweep.json").read_text())
+        assert sweep_payload["n_variants"] == 2
+        assert sweep_payload["n_scenarios"] == 2
 
     def test_only_filter(self, tmp_path):
         code = main(

@@ -140,3 +140,45 @@ class TestFrequencyCap:
                 frequencies_mhz=(500, 1000),
                 nominal_max_frequency_mhz=800,
             )
+
+
+class TestFrequencyCapIdempotence:
+    """Regression: re-capping must be a no-op, not a new system.
+
+    Before the fix, re-applying a cap to a cluster whose ladder had
+    collapsed to its minimum frequency rebuilt the cluster (``replace``
+    always allocates) and stacked another ``@<cap>mhz`` suffix on the
+    name — so ``capped.with_frequency_cap(same)`` compared unequal to
+    ``capped``, and every by-value consumer (scenario cell dedup, thermal
+    fixed-point iteration) saw a phantom new platform.
+    """
+
+    def test_same_cap_twice_returns_self(self, system):
+        capped = system.with_frequency_cap(1100)
+        assert capped.with_frequency_cap(1100) is capped
+
+    def test_same_cap_twice_with_collapsed_ladder_returns_self(self, system):
+        # 700 sits below the big cluster's 800 MHz minimum, so the big
+        # ladder collapses to (800,) — the branch that used to rebuild.
+        capped = system.with_frequency_cap(700)
+        assert capped.with_frequency_cap(700) is capped
+        assert capped.with_frequency_cap(750) is capped
+
+    def test_recap_rewrites_name_instead_of_stacking(self, system):
+        recapped = system.with_frequency_cap(1100).with_frequency_cap(900)
+        assert recapped.name == f"{system.name}@900mhz"
+        assert "@1100mhz" not in recapped.name
+
+    def test_recap_keeps_original_nominal_max(self, system):
+        recapped = system.with_frequency_cap(1100).with_frequency_cap(900)
+        for original, restricted in zip(system.clusters, recapped.clusters):
+            if restricted.frequencies_mhz != original.frequencies_mhz:
+                assert restricted.design_max_frequency_mhz == original.max_frequency_mhz
+
+    def test_higher_cap_after_lower_is_a_no_op(self, system):
+        capped = system.with_frequency_cap(900)
+        assert capped.with_frequency_cap(1500) is capped
+
+    def test_base_name_strips_only_cap_suffix(self, system):
+        assert system.base_name == system.name
+        assert system.with_frequency_cap(1100).base_name == system.name

@@ -3,7 +3,13 @@
 import pytest
 
 from repro.hardware.acmp import ClusterKind
-from repro.hardware.platforms import exynos_5410, get_platform, list_platforms, tegra_parker
+from repro.hardware.platforms import (
+    derive_platform,
+    exynos_5410,
+    get_platform,
+    list_platforms,
+    tegra_parker,
+)
 
 
 class TestExynos5410:
@@ -52,3 +58,48 @@ class TestRegistry:
     def test_unknown_platform_raises(self):
         with pytest.raises(KeyError):
             get_platform("snapdragon")
+
+
+class TestDerivePlatform:
+    def test_no_overrides_returns_base_unchanged(self):
+        system = exynos_5410()
+        assert derive_platform(system) is system
+        assert derive_platform("exynos5410") == system
+
+    def test_override_equal_to_base_value_is_a_no_op(self):
+        system = exynos_5410()
+        assert derive_platform(system, big_cores=4, little_perf_scale=0.45) is system
+
+    def test_core_counts_scale_leakage_not_ladder(self):
+        system = exynos_5410()
+        derived = derive_platform(system, big_cores=2, little_cores=8)
+        assert derived.big_cluster.core_count == 2
+        assert derived.little_cluster.core_count == 8
+        assert derived.big_cluster.power_scale == pytest.approx(0.5)
+        assert derived.little_cluster.power_scale == pytest.approx(2.0)
+        # The DVFS ladders and IPC asymmetry are untouched.
+        assert derived.big_cluster.frequencies_mhz == system.big_cluster.frequencies_mhz
+        assert derived.little_cluster.perf_scale == system.little_cluster.perf_scale
+
+    def test_perf_scale_overrides_little_cluster_only(self):
+        derived = derive_platform(exynos_5410(), little_perf_scale=0.3)
+        assert derived.little_cluster.perf_scale == 0.3
+        assert derived.big_cluster.perf_scale == 1.0
+
+    def test_name_tokens_are_self_describing(self):
+        derived = derive_platform(
+            exynos_5410(), big_cores=2, little_cores=8, little_perf_scale=0.3
+        )
+        assert derived.name == "exynos5410+b2+l8+ps0.3"
+
+    def test_invalid_overrides_rejected(self):
+        with pytest.raises(ValueError):
+            derive_platform(exynos_5410(), big_cores=0)
+        with pytest.raises(ValueError):
+            derive_platform(exynos_5410(), little_perf_scale=1.5)
+
+    def test_composes_with_frequency_cap(self):
+        derived = derive_platform(exynos_5410(), big_cores=2).with_frequency_cap(1100)
+        assert derived.name == "exynos5410+b2@1100mhz"
+        assert derived.big_cluster.power_scale == pytest.approx(0.5)
+        assert derived.big_cluster.design_max_frequency_mhz == 1800

@@ -79,6 +79,57 @@ class TestPowerTablePersistence:
             PowerTable(active_w={AcmpConfig("A15", 800): 0.0})
 
 
+class TestPowerScale:
+    """Core-count variants scale leakage (static + idle), never dynamic."""
+
+    def test_default_scale_is_bit_identical_to_seed_model(self, system, table):
+        from dataclasses import replace
+
+        rescaled = PowerModel().build_table(
+            type(system)(
+                name=system.name,
+                clusters=tuple(replace(c, power_scale=1.0) for c in system.clusters),
+            )
+        )
+        assert rescaled.active_w == table.active_w
+        assert rescaled.idle_w == table.idle_w
+
+    def test_halving_big_cores_halves_big_static_power(self, system):
+        from repro.hardware.platforms import derive_platform
+
+        model = PowerModel()
+        derived = derive_platform(system, big_cores=2)
+        big = system.big_cluster
+        params = model.params_for(big)
+        config = AcmpConfig(big.name, big.max_frequency_mhz)
+        delta = model.active_power_w(system, config) - model.active_power_w(derived, config)
+        assert delta == pytest.approx(params.static_w / 2)
+
+    def test_idle_power_scales_with_core_counts(self, system):
+        from repro.hardware.platforms import derive_platform
+
+        model = PowerModel()
+        doubled = derive_platform(system, big_cores=8, little_cores=8)
+        big = model.params_for(system.big_cluster)
+        little = model.params_for(system.little_cluster)
+        assert model.idle_power_w(doubled) == pytest.approx(
+            2 * big.idle_w + 2 * little.idle_w
+        )
+
+    def test_dynamic_power_unchanged_by_core_count(self, system):
+        from repro.hardware.platforms import derive_platform
+
+        model = PowerModel()
+        derived = derive_platform(system, big_cores=1)
+        big = system.big_cluster
+        params = model.params_for(big)
+        for freq in big.frequencies_mhz:
+            config = AcmpConfig(big.name, freq)
+            dynamic_full = model.active_power_w(system, config) - params.static_w
+            dynamic_one = model.active_power_w(derived, config) - params.static_w / 4
+            assert dynamic_one == pytest.approx(dynamic_full)
+
+
 class TestCappedSystemPower:
     def test_capped_operating_point_draws_uncapped_power(self):
         from repro.hardware.platforms import exynos_5410

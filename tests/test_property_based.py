@@ -1,7 +1,7 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
 import numpy as np
-from hypothesis import given, settings, strategies as st
+from hypothesis import example, given, settings, strategies as st
 
 from repro.core.optimizer.ilp import BranchAndBoundSolver, DynamicProgrammingSolver
 from repro.core.optimizer.schedule import EventSpec
@@ -133,11 +133,17 @@ class TestRenderingProperties:
 
     @given(cpu_time=st.floats(min_value=0.0, max_value=5000.0), start=st.floats(min_value=0.0, max_value=1e5))
     @settings(max_examples=60, deadline=None)
+    # A ready time sitting *inside* the snap-down band of tick 0: display
+    # legitimately lands 4e-9 ms before ready (found by hypothesis).
+    @example(cpu_time=0.0, start=4.0295519735528635e-09)
     def test_frame_latency_at_least_cpu_time(self, cpu_time, start):
         pipeline = RenderingPipeline()
         frame = pipeline.frame_for(start, cpu_time)
         assert frame.total_latency_ms >= cpu_time - 1e-6
-        assert frame.idle_wait_ms >= -1e-9
+        # next_vsync_ms forgives float noise of up to 1e-9 *ticks* (it snaps
+        # a ready time that is within noise above a tick down to that tick),
+        # so idle_wait may be negative by at most a tick-relative epsilon.
+        assert frame.idle_wait_ms >= -pipeline.vsync_period_ms * 1e-9 - 1e-12
 
 
 class TestPowerProperties:

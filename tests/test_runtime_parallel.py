@@ -190,6 +190,65 @@ class TestMatrixEvaluation:
         assert outcome.results == {}
 
 
+class TestSweptPlatformMatrixEquivalence:
+    """jobs=N == jobs=1 for matrices whose cells are *derived* platforms.
+
+    The matrix worker caches one simulator per sweep key; swept cells differ
+    only in platform overrides (core counts, perf_scale, thermal throttle),
+    so the keys — which embed every override — must keep those simulators
+    apart or two variants silently share hardware models.
+    """
+
+    @pytest.fixture(scope="class")
+    def swept_sweeps(self, generator):
+        from repro.hardware.platforms import derive_platform
+        from repro.hardware.thermal import get_thermal_model
+        from repro.runtime.parallel import MatrixSweep
+        from repro.runtime.simulator import SimulationSetup
+
+        trace = generator.generate("cnn", seed=605).slice(0, 8)
+        base = derive_platform("exynos5410")
+        variants = {
+            "exynos5410": base,
+            "exynos5410+b2": derive_platform("exynos5410", big_cores=2),
+            "exynos5410+ps0.9": derive_platform("exynos5410", little_perf_scale=0.9),
+            "exynos5410+th.cramped": get_thermal_model("cramped_chassis").constrain(base),
+        }
+        return [
+            MatrixSweep(
+                key=key,
+                setup=SimulationSetup(system=system),
+                traces=(trace,),
+                schemes=("Interactive", "EBS"),
+            )
+            for key, system in variants.items()
+        ]
+
+    def test_parallel_matches_serial_bit_for_bit(self, catalog, swept_sweeps):
+        from repro.runtime.parallel import ParallelEvaluator
+
+        serial = ParallelEvaluator(catalog=catalog, jobs=1).evaluate_matrix(
+            swept_sweeps, keep_results=True
+        )
+        parallel = ParallelEvaluator(catalog=catalog, jobs=4, chunk_size=1).evaluate_matrix(
+            swept_sweeps, keep_results=True
+        )
+        assert parallel.results == serial.results
+        assert parallel.aggregates == serial.aggregates
+
+    def test_variant_cells_are_not_shared(self, catalog, swept_sweeps):
+        """Distinct overrides must produce distinct outcomes somewhere —
+        otherwise the per-key simulators were (wrongly) shared."""
+        from repro.runtime.parallel import ParallelEvaluator
+
+        outcome = ParallelEvaluator(catalog=catalog, jobs=2).evaluate_matrix(
+            swept_sweeps, keep_results=False
+        )
+        base = outcome.aggregates["exynos5410"]
+        assert outcome.aggregates["exynos5410+b2"] != base
+        assert outcome.aggregates["exynos5410+th.cramped"] != base
+
+
 class TestSpawnSafety:
     """The pool paths must work under the spawn start method (macOS/Windows
     default): nothing may rely on fork-inherited module state."""

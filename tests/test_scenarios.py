@@ -55,6 +55,12 @@ class TestScenarioSpec:
         with pytest.raises(ValueError, match="traces_per_app"):
             ScenarioSpec(name="x", traces_per_app=0)
 
+    def test_rejects_duplicate_schemes(self):
+        # A duplicated scheme would replay twice and silently double its
+        # streamed aggregates.
+        with pytest.raises(ValueError, match="twice"):
+            ScenarioSpec(name="x", schemes=("Interactive", "Interactive"))
+
     def test_rejects_unknown_explicit_app_at_construction(self):
         # A typo must fail before any training/generation happens.
         with pytest.raises(ValueError, match="application"):
@@ -109,6 +115,14 @@ class TestScenarioMatrix:
         with pytest.raises(ValueError, match="axis"):
             ScenarioMatrix(name="m", regimes=())
 
+    def test_duplicate_axis_entries_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ScenarioMatrix(name="m", regimes=("default", "default"))
+        with pytest.raises(ValueError, match="duplicate"):
+            ScenarioMatrix(name="m", schemes=("EBS", "EBS"))
+        with pytest.raises(ValueError, match="duplicate"):
+            ScenarioMatrix(name="m", platforms=("exynos5410", "exynos5410"))
+
 
 class TestLibrary:
     def test_builtin_scenarios_cover_every_regime(self):
@@ -144,7 +158,8 @@ class TestLibrary:
 
 @pytest.fixture(scope="module")
 def tiny_specs():
-    """Three PES-free cells spanning regimes and both platforms, kept small."""
+    """Four PES-free cells spanning regimes, both platforms, and a derived
+    platform variant (core-count override + thermal curve), kept small."""
     return [
         ScenarioSpec(
             name="a/default",
@@ -163,6 +178,13 @@ def tiny_specs():
             regime="flash_crowd",
             apps=("ebay",),
             schemes=("Interactive", "Ondemand"),
+        ),
+        ScenarioSpec(
+            name="d/swept_hot",
+            apps=("cnn",),
+            schemes=("Interactive", "EBS"),
+            big_cores=2,
+            thermal="cramped_chassis",
         ),
     ]
 

@@ -19,9 +19,15 @@ from repro.webapp.events import Interaction
 
 class TestRegistry:
     def test_expected_regimes_present(self):
-        assert {"default", "flash_crowd", "background_idle", "low_battery", "marathon"} <= set(
-            list_regimes()
-        )
+        assert {
+            "default",
+            "flash_crowd",
+            "background_idle",
+            "low_battery",
+            "marathon",
+            "network_limited",
+            "fg_bg_switching",
+        } <= set(list_regimes())
 
     def test_get_regime_unknown_raises(self):
         with pytest.raises(KeyError, match="regime"):
@@ -45,6 +51,15 @@ class TestScaledWorkloads:
     def test_rejects_non_positive_scale(self):
         with pytest.raises(ValueError):
             scaled_workloads(0.0)
+        with pytest.raises(ValueError):
+            scaled_workloads(1.0, tmem_scale=0.0)
+
+    def test_tmem_scale_decouples_network_time_from_compute(self):
+        scaled = scaled_workloads(1.0, tmem_scale=3.0)
+        for interaction, params in INTERACTION_WORKLOADS.items():
+            assert scaled[interaction].ndep_median_mcycles == params.ndep_median_mcycles
+            assert scaled[interaction].heavy_ndep_mcycles == params.heavy_ndep_mcycles
+            assert scaled[interaction].tmem_median_ms == params.tmem_median_ms * 3.0
 
 
 class TestRegimeValidation:
@@ -95,6 +110,34 @@ class TestRegimeShapes:
         default = self._trace("default", catalog)
         assert marathon.events[-1].arrival_ms > default.events[-1].arrival_ms
         assert len(marathon) >= 40
+
+    def test_network_limited_shifts_latency_to_tmem(self, catalog):
+        """Under the congested-link regime the frequency-invariant Tmem share
+        of a load's latency must dominate compared to the default regime."""
+        limited = self._trace("network_limited", catalog)
+        default = self._trace("default", catalog)
+
+        def tmem_share(trace):
+            loads = [e.workload for e in trace if e.workload.tmem_ms > 0]
+            return sum(w.tmem_ms for w in loads) / max(
+                sum(w.tmem_ms + w.ndep_mcycles for w in loads), 1e-9
+            )
+
+        assert tmem_share(limited) > tmem_share(default)
+
+    def test_fg_bg_switching_is_bursty(self, catalog):
+        """Foreground/background switching: the gap distribution must be far
+        more dispersed than the default regime's (bursts + long lulls)."""
+        switching = self._trace("fg_bg_switching", catalog)
+        default = self._trace("default", catalog)
+
+        def gap_dispersion(trace):
+            arrivals = [e.arrival_ms for e in trace]
+            gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+            mean = sum(gaps) / len(gaps)
+            return max(gaps) / mean
+
+        assert gap_dispersion(switching) > gap_dispersion(default)
 
     def test_workload_params_reach_sampled_events(self, catalog):
         """Generator-level override: doubling the medians must shift the
