@@ -1,0 +1,40 @@
+"""Perf bench: wall-clock of the dynamic-thermal matrix run.
+
+Marked ``perf`` and deselected from the default pytest run; writes
+``results/BENCH_thermal.json`` (uploaded by the non-blocking CI perf job
+alongside the other BENCH artifacts).  The assertions guard the matrix
+shape and the physics signature — the cramped-chassis curve must actually
+engage on flash-crowd bursts, otherwise the bench is timing a no-op — while
+wall-clock itself is recorded, not asserted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import bench_thermal, write_bench_json
+
+
+@pytest.mark.perf
+def test_perf_thermal_dynamics():
+    result = bench_thermal(jobs=2)
+    path = write_bench_json(result)
+    assert path.exists()
+    assert result.extra is not None
+    assert result.extra["matrix"] == "thermal_dynamic"
+    # curves x regimes: (none, passive, cramped) x (flash_crowd, marathon)
+    assert result.extra["n_scenarios"] == 6
+    assert result.ops_per_sec > 0
+
+    residency = result.extra["throttle_residency"]
+    # Every dynamic cell reports a residency in [0, 1]...
+    for per_scheme in residency.values():
+        for value in per_scheme.values():
+            assert 0.0 <= value <= 1.0
+    # ...and the physics engages where it should: cramped-chassis flash
+    # crowds throttle (sustained ~50%-duty bursts), marathons do not (low
+    # duty cycle never crosses the curve's first threshold).
+    cramped_flash = residency["exynos5410+th.cramped_chassis/flash_crowd/core"]
+    cramped_marathon = residency["exynos5410+th.cramped_chassis/marathon/core"]
+    assert any(value > 0.0 for value in cramped_flash.values())
+    assert all(value == 0.0 for value in cramped_marathon.values())

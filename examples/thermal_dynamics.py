@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Per-event thermal dynamics walkthrough: heat-up, throttle, cool-down — live.
+
+PR 4 applied a thermal curve *per scenario*: one sustainable cap, computed
+as if the session ran flat out for its whole length.  The engines now
+thread a live ``ThermalState`` through the event loop instead
+(``thermal_mode="dynamic"``): temperature advances through every active
+interval at that interval's power and through idle gaps at idle power, and
+the *instantaneous* cap shrinks the configuration space each scheduler
+plans the next event over.  This example:
+
+1. replays one flash-crowd session on a cramped chassis and prints the
+   per-event temperature/cap trace — watch the package heat through the
+   burst, cross a throttle step, and cool through think-time gaps,
+2. runs the same curve in ``static`` and ``dynamic`` modes side by side and
+   compares the new thermal metrics (peak temperature, throttle residency,
+   throttle-induced slowdown), and
+3. shows the headline inversion: the static collapse throttles *marathons*
+   hardest (it assumes flat-out dwell for the whole session), while live
+   dynamics throttle *bursts* — flash crowds run ~50% duty at ~2 W and
+   cross the curve's thresholds mid-session; low-duty marathons never do.
+
+Usage:
+    python examples/thermal_dynamics.py [jobs]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.reporting import scenario_thermal_table
+from repro.hardware.platforms import exynos_5410
+from repro.hardware.thermal import NO_THROTTLE_MHZ, ThermalState, get_thermal_model
+from repro.runtime.simulator import SimulationSetup, Simulator
+from repro.scenarios import ScenarioRunner, ScenarioSpec
+from repro.traces.generator import TraceGenerator
+from repro.traces.presets import get_regime
+from repro.webapp.apps import AppCatalog
+
+
+def trace_temperature_per_event() -> None:
+    """Replay one bursty session and print the live temperature/cap trace."""
+    model = get_thermal_model("cramped_chassis")
+    regime = get_regime("flash_crowd")
+    catalog = AppCatalog()
+    generator = TraceGenerator(
+        catalog=catalog, session=regime.session, workload_params=regime.workload_params
+    )
+    trace = generator.generate("cnn", seed=500_000)
+
+    # Re-derive the temperature trajectory the engine sees: idle power
+    # through gaps, the event's mean power through its active interval.
+    setup = SimulationSetup(system=exynos_5410(), thermal=model)
+    simulator = Simulator(setup=setup, catalog=catalog)
+    (result,) = simulator.run_scheme([trace], "EBS")
+
+    state = ThermalState(model=model)
+    clock = 0.0
+    print(f"=== one flash-crowd cnn session on {model.name} (EBS) ===")
+    print(f"{'event':>5} {'start':>8} {'T before':>9} {'cap':>9} {'config':<16}")
+    for outcome in result.outcomes[:20]:
+        busy_ms = outcome.finish_ms - outcome.start_ms
+        state.advance(setup.power_table.idle_w, max(0.0, outcome.start_ms - clock) / 1000.0)
+        cap = "open" if state.cap_mhz >= NO_THROTTLE_MHZ else f"{state.cap_mhz} MHz"
+        print(
+            f"{outcome.index:>5} {outcome.start_ms / 1000:>7.1f}s "
+            f"{state.temperature_c:>8.1f}C {cap:>9} {outcome.config_label:<16}"
+        )
+        power_w = outcome.active_energy_mj / busy_ms if busy_ms > 0 else 0.0
+        state.advance(power_w, busy_ms / 1000.0)
+        clock = outcome.finish_ms
+    assert result.thermal is not None
+    print(
+        f"  ... session peak {result.thermal.peak_temperature_c:.1f}C, "
+        f"throttle residency {result.thermal.throttle_residency * 100:.1f}%, "
+        f"throttle slowdown {result.thermal.throttle_slowdown * 100:+.1f}%"
+    )
+
+
+def compare_static_and_dynamic(jobs: int) -> None:
+    """The same curve/regime grid, collapsed per scenario vs applied per event."""
+    runner = ScenarioRunner(jobs=jobs)
+    specs = [
+        ScenarioSpec(
+            name=f"{regime}/{mode}",
+            regime=regime,
+            apps=("cnn",),
+            schemes=("Interactive", "EBS"),
+            thermal="cramped_chassis",
+            thermal_mode=mode,
+        )
+        for regime in ("flash_crowd", "marathon")
+        for mode in ("static", "dynamic")
+    ]
+    results = runner.run(specs)
+
+    print("\n=== static collapse vs live dynamics (cramped_chassis) ===")
+    print(f"{'scenario':<24} {'mode':<8} {'big-top MHz':>11} {'Interactive mJ':>15}")
+    for spec, result in zip(specs, results):
+        top = spec.system().big_cluster.max_frequency_mhz
+        energy = result.aggregates["Interactive"].overall.total_energy_mj
+        mode = spec.thermal_mode
+        print(f"{spec.name:<24} {mode:<8} {top:>11} {energy:>15.0f}")
+
+    print()
+    print(scenario_thermal_table(results))
+    print(
+        "\nNote the inversion: static mode pre-throttles the marathon platform\n"
+        "(flat-out dwell for the whole session) and leaves the flash crowd\n"
+        "nearly untouched; live dynamics show bursts crossing the thresholds\n"
+        "mid-session while low-duty marathons never heat past them."
+    )
+
+
+def main() -> None:
+    jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 1
+    trace_temperature_per_event()
+    compare_static_and_dynamic(jobs)
+
+
+if __name__ == "__main__":
+    main()

@@ -171,6 +171,40 @@ def sweep_platform_table(specs: Sequence) -> str:
     )
 
 
+def scenario_thermal_table(results: Sequence) -> str:
+    """Per-scenario thermal telemetry of every dynamic-thermal scheme cell.
+
+    ``results`` is a sequence of
+    :class:`~repro.scenarios.runner.ScenarioResult`; only cells whose
+    aggregates carry a :class:`~repro.runtime.metrics.ThermalAggregate`
+    (i.e. ``thermal_mode="dynamic"`` replays) contribute rows.  Returns an
+    empty string when no cell tracked thermal state, so callers can print
+    the table only when it has something to say.
+    """
+    table_rows: list[list[object]] = []
+    for result in results:
+        for scheme, aggregates in result.aggregates.items():
+            thermal = getattr(aggregates, "thermal", None)
+            if thermal is None:
+                continue
+            table_rows.append(
+                [
+                    result.spec.name,
+                    scheme,
+                    f"{thermal.peak_temperature_c:.1f}",
+                    format_percentage(thermal.throttle_residency),
+                    format_percentage(thermal.throttle_slowdown),
+                ]
+            )
+    if not table_rows:
+        return ""
+    return format_table(
+        ["scenario", "scheme", "peak C", "throttle res.", "throttle slowdown"],
+        table_rows,
+        min_width=10,
+    )
+
+
 def scenario_qos_table(rows: Mapping[str, Mapping[str, AggregateMetrics]]) -> str:
     """Per-scenario QoS violation rate of every scheme."""
     schemes = _scheme_columns(rows)

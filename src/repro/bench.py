@@ -18,6 +18,11 @@ Four benches anchor the perf trajectory of the repo:
   (core counts x little-cluster IPC x thermal curves expanded into derived
   systems), the shape where per-cell setup cost — power tables, option
   caches, thermal fixed points — dominates if it regresses.
+* ``bench_thermal`` — dynamic thermal: the ``thermal_dynamic`` matrix with
+  live per-event thermal state threaded through the engines, the path
+  where per-event cap derivation and capped-option enumeration would show
+  up if their memoisation regresses; also records the throttle residency
+  observed per curve so the bench doubles as a physics smoke check.
 
 Each bench emits a JSON file under ``results/`` with the schema
 ``{name, ops_per_sec, wall_s, git_rev}`` so future PRs can regress against
@@ -354,6 +359,72 @@ def bench_sweep(jobs: int = 2, quick: bool = False) -> BenchResult:
     )
 
 
+def bench_thermal(jobs: int = 2, quick: bool = False) -> BenchResult:
+    """Wall-clock of a dynamic-thermal matrix (ops = scheme x trace replays).
+
+    Runs the built-in ``thermal_dynamic`` matrix — thermal curves applied
+    *per event* inside the engines rather than pre-collapsed per scenario —
+    so the bench exercises live temperature advancement, memoised
+    capped-platform derivation, and cap-filtered option enumeration on
+    every event of every replay.  ``quick`` shrinks the grid to one curve
+    on one regime.  The extra payload records each scenario's throttle
+    residency so the trajectory also tracks *whether* throttling engaged,
+    not just how fast the engine ran.
+    """
+    import os
+
+    from repro.scenarios import ScenarioMatrix, ScenarioRunner, get_matrix
+    from repro.scenarios.sweep import PlatformSweep
+    from repro.utils import resolve_jobs
+
+    jobs = resolve_jobs(jobs)
+    if quick:
+        matrix = ScenarioMatrix(
+            name="thermal_quick",
+            platform_sweep=PlatformSweep(
+                platforms=("exynos5410",),
+                thermal_models=("cramped_chassis",),
+            ),
+            regimes=("flash_crowd",),
+            app_mixes=("core",),
+            schemes=("Interactive", "EBS"),
+            thermal_mode="dynamic",
+            seed=BENCH_SEED,
+        )
+    else:
+        matrix = get_matrix("thermal_dynamic")
+    expanded = matrix.expand()
+    runner = ScenarioRunner(jobs=jobs)
+
+    start = time.perf_counter()
+    results = runner.run(expanded)
+    elapsed = time.perf_counter() - start
+    replays = sum(spec.n_sessions * len(spec.schemes) for spec in expanded)
+    residency = {
+        result.spec.name: {
+            scheme: round(aggregates.thermal.throttle_residency, 4)
+            for scheme, aggregates in result.aggregates.items()
+            if aggregates.thermal is not None
+        }
+        for result in results
+    }
+    return BenchResult(
+        name="thermal",
+        ops_per_sec=replays / elapsed,
+        wall_s=elapsed,
+        git_rev=git_rev(),
+        extra={
+            "matrix": matrix.name,
+            "jobs": jobs,
+            "cpu_count": os.cpu_count(),
+            "n_scenarios": len(results),
+            "n_replays": replays,
+            "schemes": list(matrix.schemes),
+            "throttle_residency": residency,
+        },
+    )
+
+
 #: Bench name -> factory taking the shared (jobs, quick) knobs.
 BENCHES = {
     "solver": lambda jobs, quick: bench_solver(min_duration_s=0.2 if quick else 3.0),
@@ -365,6 +436,7 @@ BENCHES = {
     ),
     "scenarios": lambda jobs, quick: bench_scenarios(jobs=jobs, quick=quick),
     "sweep": lambda jobs, quick: bench_sweep(jobs=jobs, quick=quick),
+    "thermal": lambda jobs, quick: bench_thermal(jobs=jobs, quick=quick),
 }
 
 

@@ -13,22 +13,35 @@ Six subcommands cover the whole workflow:
 * ``platforms`` — list the available hardware platform models,
 * ``bench``     — run the perf-regression benches (writes ``BENCH_*.json``).
 
+Thermal curves apply in one of two modes (``--thermal-mode`` on
+``scenarios sweep``, ``thermal_mode`` on specs/matrices): ``static``
+collapses the curve to one pre-throttled platform per scenario, while
+``dynamic`` threads a live thermal state through the engines — temperature
+advances per event (active intervals at the executed configuration's
+power, idle gaps at idle power) and the instantaneous cap shrinks the
+configuration space each scheduler plans the next event over.  Dynamic
+runs add a thermal table with three columns per scenario x scheme: ``peak
+C`` (hottest package temperature), ``throttle res.`` (fraction of the
+session spent under an engaged cap), and ``throttle slowdown`` (relative
+latency inflation of throttle-planned events).
+
 Examples::
 
     python -m repro generate --apps cnn bbc --traces 3 --out traces.json
     python -m repro train --traces-per-app 6
     python -m repro evaluate --apps cnn google --schemes Interactive EBS PES
     python -m repro scenarios list
-    python -m repro scenarios run --matrix default --jobs 2
-    python -m repro scenarios sweep --big-cores 2 4 --thermal none passive_phone
-    python -m repro bench --only sweep
+    python -m repro scenarios run --matrix thermal_dynamic --jobs 2
+    python -m repro scenarios sweep --thermal none cramped_chassis --thermal-mode dynamic
+    python -m repro bench --only thermal
 
 ``evaluate``, ``scenarios run``/``sweep``, and ``bench`` take ``--jobs N``
 to fan the (scheme x trace) replays out over N worker processes
 (``--jobs 0`` = one per CPU); results are bit-identical for any worker
-count — see :mod:`repro.runtime.parallel`.  The sweep artefact is a pure
-function of the matrix (no worker-count field), so two runs at different
-``--jobs`` produce byte-identical files.
+count — see :mod:`repro.runtime.parallel`.  Every ``SCENARIOS_*.json``
+artefact (``run`` and ``sweep`` alike) is a pure function of its matrix —
+the worker count is never recorded — so two runs at different ``--jobs``
+produce byte-identical files.
 """
 
 from __future__ import annotations
@@ -191,6 +204,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="thermal throttling curves to sweep ('none' = unthrottled)",
     )
     scenarios_sweep.add_argument(
+        "--thermal-mode",
+        default="static",
+        choices=["static", "dynamic"],
+        help="how thermal curves apply: 'static' pre-throttles each scenario's "
+        "platform once (heat-up dwell = the regime's session length); 'dynamic' "
+        "threads live thermal state through the engines, capping the scheduler "
+        "per event as the package heats and cools.  Dynamic runs report peak "
+        "temperature, throttle residency, and throttle slowdown per scenario "
+        "(default: static)",
+    )
+    scenarios_sweep.add_argument(
         "--regimes", nargs="+", default=["default"], help="session regimes to cross in"
     )
     scenarios_sweep.add_argument(
@@ -238,7 +262,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--only",
         nargs="+",
         default=None,
-        choices=["solver", "compare", "parallel", "scenarios", "sweep"],
+        choices=["solver", "compare", "parallel", "scenarios", "sweep", "thermal"],
         help="run only these benches",
     )
     bench.add_argument(
@@ -340,7 +364,12 @@ def _sweep_axis(values: Sequence | None) -> tuple:
 
 
 def _cmd_scenarios(args: argparse.Namespace) -> int:
-    from repro.analysis.reporting import format_table, scenario_energy_table, scenario_qos_table
+    from repro.analysis.reporting import (
+        format_table,
+        scenario_energy_table,
+        scenario_qos_table,
+        scenario_thermal_table,
+    )
     from repro.scenarios import (
         APP_MIXES,
         BUILTIN_SCENARIOS,
@@ -403,6 +432,10 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         print(scenario_energy_table(rows))
         print()
         print(scenario_qos_table(rows))
+        thermal_table = scenario_thermal_table(results)
+        if thermal_table:
+            print()
+            print(thermal_table)
 
         if args.out is not None:
             out = args.out
@@ -410,7 +443,10 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
             from repro.bench import _default_results_dir
 
             out = _default_results_dir() / f"SCENARIOS_{run_name}.json"
-        path = write_results(results, out, matrix=run_name, jobs=jobs)
+        # The artefact is a pure function of the results — never of the
+        # worker count — so --jobs 1 and --jobs 4 write byte-identical files
+        # (run and sweep alike; write_results no longer accepts a jobs value).
+        path = write_results(results, out, matrix=run_name)
         print(f"\nwrote {len(results)} scenario results to {path}")
         return 0
 
@@ -435,6 +471,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
                 schemes=tuple(args.schemes),
                 traces_per_app=args.traces_per_app,
                 seed=args.seed,
+                thermal_mode=args.thermal_mode,
                 description="ad-hoc platform-parameter sweep",
             )
             specs = matrix.expand()
@@ -459,6 +496,10 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         print(scenario_energy_table(rows))
         print()
         print(scenario_qos_table(rows))
+        thermal_table = scenario_thermal_table(results)
+        if thermal_table:
+            print()
+            print(thermal_table)
 
         out = args.out if args.out is not None else (
             _default_results_dir() / f"SCENARIOS_sweep_{args.name}.json"
@@ -466,7 +507,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         # The artefact is a pure function of the matrix: no jobs field, so
         # --jobs 1 and --jobs 4 runs produce byte-identical files (the
         # differential harness compares them with a plain dict ==).
-        path = write_results(results, out, matrix=matrix.name, jobs=None)
+        path = write_results(results, out, matrix=matrix.name)
         print(f"\nwrote {len(results)} scenario results to {path}")
         return 0
 
@@ -480,6 +521,10 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         print(scenario_energy_table(rows_a))
         print()
         print(scenario_qos_table(rows_a))
+        thermal_table = scenario_thermal_table(results_a)
+        if thermal_table:
+            print()
+            print(thermal_table)
         return 0
 
     _, results_b = load_results(args.files[1])

@@ -159,9 +159,14 @@ class GlobalOptimizer:
 
     # -- spec construction -------------------------------------------------------
 
-    def _options_for(self, workload: DvfsModel):
+    def _options_for(self, workload: DvfsModel, system: AcmpSystem | None = None):
         return tuple(
-            enumerate_options(self.system, self.power_table, workload, pareto_only=True)
+            enumerate_options(
+                system if system is not None else self.system,
+                self.power_table,
+                workload,
+                pareto_only=True,
+            )
         )
 
     def build_specs(
@@ -169,12 +174,20 @@ class GlobalOptimizer:
         now_ms: float,
         outstanding: list[TraceEvent],
         predicted: list[PredictedEvent],
+        *,
+        system: AcmpSystem | None = None,
     ) -> list[EventSpec]:
         """Combine outstanding and predicted events into one scheduling window.
 
         Outstanding events keep their true arrival and deadline.  Predicted
         events are released immediately (that is the proactive part) and get
         deadlines derived from conservatively estimated arrival times.
+
+        ``system`` overrides the platform the window's options are
+        enumerated over — the dynamic thermal engine passes the throttled
+        platform of the moment so the solver only branches over operating
+        points the governor would actually admit.  ``None`` keeps the
+        optimizer's own (session-constant) platform.
         """
         specs: list[EventSpec] = []
         horizon = now_ms
@@ -186,7 +199,7 @@ class GlobalOptimizer:
                     deadline_ms=max(
                         event.deadline_ms - self.safety_margin_ms, event.arrival_ms
                     ),
-                    options=self._options_for(event.workload),
+                    options=self._options_for(event.workload, system),
                     speculative=False,
                 )
             )
@@ -202,7 +215,7 @@ class GlobalOptimizer:
                     label=f"predicted-{position}-{prediction.event_type.value}",
                     release_ms=now_ms,
                     deadline_ms=max(deadline - self.safety_margin_ms, now_ms),
-                    options=self._options_for(workload),
+                    options=self._options_for(workload, system),
                     speculative=True,
                 )
             )
@@ -219,7 +232,13 @@ class GlobalOptimizer:
         now_ms: float,
         outstanding: list[TraceEvent],
         predicted: list[PredictedEvent],
+        *,
+        system: AcmpSystem | None = None,
     ) -> Schedule:
-        """End-to-end: build the window from events and solve it."""
-        specs = self.build_specs(now_ms, outstanding, predicted)
+        """End-to-end: build the window from events and solve it.
+
+        ``system`` optionally narrows the window to a (thermally) capped
+        platform; see :meth:`build_specs`.
+        """
+        specs = self.build_specs(now_ms, outstanding, predicted, system=system)
         return self.solve(specs, now_ms)

@@ -120,13 +120,27 @@ class PesScheduler:
     def prediction_enabled(self) -> bool:
         return self.control.prediction_enabled
 
-    def start_round(self, now_ms: float, outstanding: list[TraceEvent] | None = None) -> Schedule:
-        """Predict the next event sequence and compute the speculative schedule."""
+    def start_round(
+        self,
+        now_ms: float,
+        outstanding: list[TraceEvent] | None = None,
+        *,
+        system: AcmpSystem | None = None,
+    ) -> Schedule:
+        """Predict the next event sequence and compute the speculative schedule.
+
+        ``system`` overrides the platform the round is solved against — the
+        dynamic thermal engine passes the instantaneously throttled platform
+        so the speculative schedule only uses operating points the thermal
+        governor currently admits.  ``None`` keeps the session platform.
+        """
         if self.control.has_pending:
             raise RuntimeError("previous prediction round has not drained yet")
         predictions = self.predictor.predict_sequence() if self.prediction_enabled else []
         self.control.begin_round(predictions)
-        schedule = self.optimizer.compute_schedule(now_ms, list(outstanding or []), predictions)
+        schedule = self.optimizer.compute_schedule(
+            now_ms, list(outstanding or []), predictions, system=system
+        )
         self.current_schedule = schedule
         self.dispatcher.load(schedule)
         return schedule

@@ -44,8 +44,15 @@ from repro.hardware.acmp import AcmpConfig, AcmpSystem
 from repro.hardware.dvfs import DvfsModel
 from repro.hardware.energy import SwitchingCosts
 from repro.hardware.power import PowerTable
-from repro.runtime.metrics import EventOutcome, SessionResult
-from repro.schedulers.base import EventContext, ExecutionPlan, ReactiveScheduler, enumerate_options
+from repro.hardware.thermal import ThermalModel, ThermalState
+from repro.runtime.metrics import EventOutcome, SessionResult, ThermalSessionStats
+from repro.schedulers.base import (
+    EventContext,
+    ExecutionPlan,
+    ReactiveScheduler,
+    capped_system,
+    enumerate_options,
+)
 from repro.schedulers.oracle import OracleScheduler
 from repro.traces.trace import Trace, TraceEvent
 from repro.webapp.rendering import RenderingPipeline
@@ -53,12 +60,23 @@ from repro.webapp.rendering import RenderingPipeline
 
 @dataclass(frozen=True)
 class EngineConfig:
-    """Hardware and rendering models shared by every engine."""
+    """Hardware and rendering models shared by every engine.
+
+    ``thermal`` switches the engines into *dynamic* thermal mode: a live
+    :class:`~repro.hardware.thermal.ThermalState` is threaded through the
+    event loop — temperature advances through every active interval at that
+    interval's power and through idle gaps at idle power — and the
+    instantaneous frequency cap shrinks the configuration space each
+    scheduler plans the *next* event over.  ``None`` (the default) keeps the
+    pre-thermal behaviour bit-for-bit: the platform in ``system`` is taken
+    as-is, whether unconstrained or already statically throttled.
+    """
 
     system: AcmpSystem
     power_table: PowerTable
     pipeline: RenderingPipeline = field(default_factory=RenderingPipeline)
     switching: SwitchingCosts = field(default_factory=SwitchingCosts)
+    thermal: ThermalModel | None = None
 
 
 @dataclass(frozen=True)
@@ -123,6 +141,100 @@ def _session_idle_energy(
     return idle_ms * config.power_table.idle_w
 
 
+class _SessionThermal:
+    """Live thermal state for one session replay (dynamic thermal mode).
+
+    Owns the piecewise advancement of the package temperature along the
+    session timeline — idle gaps at idle power, active intervals at the
+    interval's (mean) power — and answers the one question the engines ask
+    before planning each event: *what does the platform look like right
+    now?*  :meth:`system_now` returns the base platform when the
+    instantaneous cap clears the ladder and the memoised throttled platform
+    otherwise, so a constant curve degenerates to exactly the statically
+    capped system on every event.
+
+    Throttled wall-clock is attributed piecewise: each advanced interval
+    counts as throttled when the cap *entering* the interval was engaged —
+    the same cap the scheduler planned against — which keeps the residency
+    metric deterministic and independent of how the timeline is sliced into
+    engine-internal segments.
+    """
+
+    def __init__(self, config: EngineConfig) -> None:
+        assert config.thermal is not None
+        self._base_system = config.system
+        self._idle_w = config.power_table.idle_w
+        self._full_max_mhz = max(
+            cluster.max_frequency_mhz for cluster in config.system.clusters
+        )
+        self.state = ThermalState(config.thermal)
+        self.clock_ms = 0.0
+        self.peak_c = self.state.temperature_c
+        self.throttled_ms = 0.0
+        self._throttled_events = 0
+        self._unthrottled_events = 0
+        self._throttled_latency_ms = 0.0
+        self._unthrottled_latency_ms = 0.0
+
+    # -- instantaneous capability ------------------------------------------------
+
+    @property
+    def throttled_now(self) -> bool:
+        """True when the current cap removes at least the top ladder rung."""
+        return self.state.cap_mhz < self._full_max_mhz
+
+    def system_now(self) -> AcmpSystem:
+        """The platform as the scheduler must see it at the current instant."""
+        cap = self.state.cap_mhz
+        if cap >= self._full_max_mhz:
+            return self._base_system
+        return capped_system(self._base_system, cap)
+
+    # -- timeline advancement ----------------------------------------------------
+
+    def _advance(self, until_ms: float, power_w: float) -> None:
+        dt_ms = until_ms - self.clock_ms
+        if dt_ms <= 0.0:
+            return
+        if self.throttled_now:
+            self.throttled_ms += dt_ms
+        temperature = self.state.advance(power_w, dt_ms / 1000.0)
+        if temperature > self.peak_c:
+            self.peak_c = temperature
+        self.clock_ms = until_ms
+
+    def idle_to(self, until_ms: float) -> None:
+        """Cool (or keep relaxing) through an idle gap up to ``until_ms``."""
+        self._advance(until_ms, self._idle_w)
+
+    def active(self, start_ms: float, end_ms: float, power_w: float) -> None:
+        """Heat through an active interval, idling through any gap before it."""
+        self.idle_to(start_ms)
+        self._advance(end_ms, power_w)
+
+    # -- per-event telemetry -----------------------------------------------------
+
+    def note_event(self, planned_throttled: bool, latency_ms: float) -> None:
+        """Record an event's latency under the cap it was planned against."""
+        if planned_throttled:
+            self._throttled_events += 1
+            self._throttled_latency_ms += latency_ms
+        else:
+            self._unthrottled_events += 1
+            self._unthrottled_latency_ms += latency_ms
+
+    def finalize(self, duration_ms: float) -> ThermalSessionStats:
+        return ThermalSessionStats(
+            peak_temperature_c=self.peak_c,
+            throttled_ms=self.throttled_ms,
+            duration_ms=duration_ms,
+            throttled_events=self._throttled_events,
+            unthrottled_events=self._unthrottled_events,
+            throttled_latency_ms=self._throttled_latency_ms,
+            unthrottled_latency_ms=self._unthrottled_latency_ms,
+        )
+
+
 @dataclass
 class ReactiveEngine:
     """Replays a trace under a reactive (per-event) scheduler."""
@@ -135,14 +247,24 @@ class ReactiveEngine:
         busy_until = 0.0
         busy_time = 0.0
         previous_config: AcmpConfig | None = None
+        thermal = _SessionThermal(self.config) if self.config.thermal is not None else None
 
         for event in trace:
             start = max(event.arrival_ms, busy_until)
             idle_before = max(0.0, event.arrival_ms - busy_until)
+            if thermal is not None:
+                # Cool through the gap, then plan against the platform's
+                # *instantaneous* capability at the moment execution starts.
+                thermal.idle_to(start)
+                system = thermal.system_now()
+                planned_throttled = thermal.throttled_now
+            else:
+                system = self.config.system
+                planned_throttled = False
             ctx = EventContext(
                 event=event,
                 start_ms=start,
-                system=self.config.system,
+                system=system,
                 power_table=self.config.power_table,
                 idle_before_ms=idle_before,
             )
@@ -163,6 +285,16 @@ class ReactiveEngine:
             )
             outcomes.append(outcome)
             scheduler.notify_completion(ctx, outcome.latency_ms)
+            if thermal is not None:
+                if execution.cpu_time_ms > 0.0:
+                    # Mean power over the interval: exact for single-phase
+                    # plans, the energy-preserving average for ramps.
+                    thermal.active(
+                        start,
+                        execution.finish_ms,
+                        execution.active_energy_mj / execution.cpu_time_ms,
+                    )
+                thermal.note_event(planned_throttled, outcome.latency_ms)
             busy_until = execution.finish_ms
             busy_time += execution.cpu_time_ms
             previous_config = execution.final_config
@@ -174,6 +306,7 @@ class ReactiveEngine:
             outcomes=outcomes,
             idle_energy_mj=_session_idle_energy(self.config, duration, busy_time),
             duration_ms=duration,
+            thermal=thermal.finalize(duration) if thermal is not None else None,
         )
 
 
@@ -194,6 +327,10 @@ class ProactiveEngine:
         # (prediction, planned assignment) pairs for the current round, in order.
         pending: deque[tuple[PredictedEvent, Assignment]] = deque()
         spec_cursor = 0.0  # earliest time the next speculative execution can start
+        thermal = _SessionThermal(self.config) if self.config.thermal is not None else None
+        # Whether the cap was engaged when the current round's schedule was
+        # solved — committed frames inherit the round's planning conditions.
+        round_throttled = False
 
         for event in trace:
             arrival = event.arrival_ms
@@ -207,23 +344,26 @@ class ProactiveEngine:
                 duration = switch + event.workload.latency_ms(self.config.system, chosen)
                 spec_start = max(spec_cursor, busy_until)
                 finish = spec_start + duration
-                energy = self.config.power_table.power_w(chosen) * duration
+                power = self.config.power_table.power_w(chosen)
+                energy = power * duration
                 display = self.config.pipeline.next_vsync_ms(max(finish, arrival))
                 pes.on_match(arrival)
-                outcomes.append(
-                    EventOutcome(
-                        index=event.index,
-                        event_type=event.event_type,
-                        arrival_ms=arrival,
-                        start_ms=spec_start,
-                        finish_ms=finish,
-                        display_ms=display,
-                        qos_target_ms=event.qos_target_ms,
-                        active_energy_mj=energy,
-                        config_label=str(chosen),
-                        speculative=True,
-                    )
+                outcome = EventOutcome(
+                    index=event.index,
+                    event_type=event.event_type,
+                    arrival_ms=arrival,
+                    start_ms=spec_start,
+                    finish_ms=finish,
+                    display_ms=display,
+                    qos_target_ms=event.qos_target_ms,
+                    active_energy_mj=energy,
+                    config_label=str(chosen),
+                    speculative=True,
                 )
+                outcomes.append(outcome)
+                if thermal is not None:
+                    thermal.active(spec_start, finish, power)
+                    thermal.note_event(round_throttled, outcome.latency_ms)
                 busy_until = finish
                 busy_time += duration
                 previous_config = chosen
@@ -244,9 +384,13 @@ class ProactiveEngine:
                         + assignment.option.latency_ms
                     )
                     run_time = min(est_duration, arrival - waste_clock)
+                    power = self.config.power_table.power_w(chosen)
                     wasted_time += run_time
-                    wasted_energy += self.config.power_table.power_w(chosen) * run_time
+                    wasted_energy += power * run_time
                     busy_time += run_time
+                    if thermal is not None:
+                        # Squashed work heats the package all the same.
+                        thermal.active(waste_clock, waste_clock + run_time, power)
                     waste_clock += run_time
                     waste_config = chosen
                 previous_config = waste_config
@@ -255,7 +399,7 @@ class ProactiveEngine:
 
                 start = max(arrival, busy_until)
                 execution, outcome = self._reactive_execute(
-                    pes, event, start, previous_config, mispredicted=True
+                    pes, event, start, previous_config, mispredicted=True, thermal=thermal
                 )
                 outcomes.append(outcome)
                 busy_until = execution.finish_ms
@@ -266,7 +410,7 @@ class ProactiveEngine:
             else:  # NO_PREDICTION: prediction disabled or nothing pending yet
                 start = max(arrival, busy_until)
                 execution, outcome = self._reactive_execute(
-                    pes, event, start, previous_config, mispredicted=False
+                    pes, event, start, previous_config, mispredicted=False, thermal=thermal
                 )
                 outcomes.append(outcome)
                 busy_until = execution.finish_ms
@@ -280,7 +424,14 @@ class ProactiveEngine:
             # Start a new prediction round once the previous one has drained.
             if pes.prediction_enabled and not pes.control.has_pending:
                 round_start = max(busy_until, arrival)
-                schedule = pes.start_round(round_start)
+                if thermal is not None:
+                    # The optimizer solves the round against the platform's
+                    # capability at the moment the round opens.
+                    thermal.idle_to(round_start)
+                    schedule = pes.start_round(round_start, system=thermal.system_now())
+                    round_throttled = thermal.throttled_now
+                else:
+                    schedule = pes.start_round(round_start)
                 predictions = pes.pending_predictions()
                 pending = deque(zip(predictions, schedule.assignments))
                 spec_cursor = round_start
@@ -299,6 +450,7 @@ class ProactiveEngine:
             prediction_rounds=pes.control.rounds,
             pfb_size_history=list(pes.control.pfb.size_history),
             duration_ms=duration,
+            thermal=thermal.finalize(duration) if thermal is not None else None,
         )
 
     # -- helpers -----------------------------------------------------------------
@@ -337,11 +489,19 @@ class ProactiveEngine:
         previous_config: AcmpConfig | None,
         *,
         mispredicted: bool,
+        thermal: _SessionThermal | None = None,
     ) -> tuple[ExecutionResult, EventOutcome]:
+        if thermal is not None:
+            thermal.idle_to(start_ms)
+            system = thermal.system_now()
+            planned_throttled = thermal.throttled_now
+        else:
+            system = self.config.system
+            planned_throttled = False
         ctx = EventContext(
             event=event,
             start_ms=start_ms,
-            system=self.config.system,
+            system=system,
             power_table=self.config.power_table,
             idle_before_ms=0.0,
         )
@@ -362,6 +522,14 @@ class ProactiveEngine:
             mispredicted=mispredicted,
             queue_delay_ms=start_ms - event.arrival_ms,
         )
+        if thermal is not None:
+            if execution.cpu_time_ms > 0.0:
+                thermal.active(
+                    start_ms,
+                    execution.finish_ms,
+                    execution.active_energy_mj / execution.cpu_time_ms,
+                )
+            thermal.note_event(planned_throttled, outcome.latency_ms)
         return execution, outcome
 
 
@@ -405,8 +573,19 @@ class OracleEngine:
             oracle.lookahead_events or self.default_lookahead_events or len(events) or 1
         )
 
+        thermal = _SessionThermal(self.config) if self.config.thermal is not None else None
+
         while index < len(events):
             chunk = events[index : index + chunk_size]
+            if thermal is not None:
+                # The oracle plans each window against the platform's
+                # capability at planning time (the window's start), the same
+                # sampling discipline as a PES prediction round.
+                planning_system = thermal.system_now()
+                chunk_throttled = thermal.throttled_now
+            else:
+                planning_system = self.config.system
+                chunk_throttled = False
             specs = [
                 EventSpec(
                     label=f"event-{e.index}",
@@ -414,7 +593,7 @@ class OracleEngine:
                     deadline_ms=max(e.deadline_ms - self.safety_margin_ms, clock),
                     options=tuple(
                         enumerate_options(
-                            self.config.system, self.config.power_table, e.workload, pareto_only=True
+                            planning_system, self.config.power_table, e.workload, pareto_only=True
                         )
                     ),
                     speculative=True,
@@ -427,22 +606,25 @@ class OracleEngine:
                 switch = self.config.switching.switch_latency_ms(previous_config, chosen)
                 start = max(clock, assignment.start_ms)
                 finish = start + switch + event.workload.latency_ms(self.config.system, chosen)
-                energy = self.config.power_table.power_w(chosen) * (finish - start)
+                power = self.config.power_table.power_w(chosen)
+                energy = power * (finish - start)
                 display = self.config.pipeline.next_vsync_ms(max(finish, event.arrival_ms))
-                outcomes.append(
-                    EventOutcome(
-                        index=event.index,
-                        event_type=event.event_type,
-                        arrival_ms=event.arrival_ms,
-                        start_ms=start,
-                        finish_ms=finish,
-                        display_ms=display,
-                        qos_target_ms=event.qos_target_ms,
-                        active_energy_mj=energy,
-                        config_label=str(chosen),
-                        speculative=True,
-                    )
+                outcome = EventOutcome(
+                    index=event.index,
+                    event_type=event.event_type,
+                    arrival_ms=event.arrival_ms,
+                    start_ms=start,
+                    finish_ms=finish,
+                    display_ms=display,
+                    qos_target_ms=event.qos_target_ms,
+                    active_energy_mj=energy,
+                    config_label=str(chosen),
+                    speculative=True,
                 )
+                outcomes.append(outcome)
+                if thermal is not None:
+                    thermal.active(start, finish, power)
+                    thermal.note_event(chunk_throttled, outcome.latency_ms)
                 busy_time += finish - start
                 previous_config = chosen
                 clock = finish
@@ -455,4 +637,5 @@ class OracleEngine:
             outcomes=outcomes,
             idle_energy_mj=_session_idle_energy(self.config, duration, busy_time),
             duration_ms=duration,
+            thermal=thermal.finalize(duration) if thermal is not None else None,
         )

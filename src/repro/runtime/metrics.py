@@ -46,6 +46,98 @@ class EventOutcome:
         return self.qos_target_ms - self.latency_ms
 
 
+@dataclass(frozen=True)
+class ThermalSessionStats:
+    """Per-session thermal telemetry from a dynamic-thermal engine replay.
+
+    Only produced when the engine threads a live
+    :class:`~repro.hardware.thermal.ThermalState` through the event loop
+    (``thermal_mode="dynamic"``); static and thermal-free replays leave
+    ``SessionResult.thermal`` as ``None``.  The latency sums/counts keep the
+    raw accumulators rather than a pre-divided ratio so aggregation over
+    many sessions stays exact (and fold-order independent up to float
+    associativity, which the streaming aggregators already pin by folding
+    in job order).
+    """
+
+    #: Hottest package temperature reached at any interval boundary.
+    peak_temperature_c: float
+    #: Wall-clock milliseconds during which the instantaneous cap was below
+    #: the platform's top ladder frequency (the scheduler saw a shrunken
+    #: configuration space).
+    throttled_ms: float
+    #: Session duration (last display time), the residency denominator.
+    duration_ms: float
+    throttled_events: int
+    unthrottled_events: int
+    throttled_latency_ms: float
+    unthrottled_latency_ms: float
+
+    @property
+    def throttle_residency(self) -> float:
+        """Fraction of the session spent under an engaged throttle, in [0, 1]."""
+        if self.duration_ms <= 0:
+            return 0.0
+        return self.throttled_ms / self.duration_ms
+
+    @property
+    def throttle_slowdown(self) -> float:
+        """Relative latency inflation of throttle-planned events.
+
+        Mean latency of events planned while the cap was engaged over the
+        mean latency of events planned at full capability, minus one.
+        ``0.0`` when either population is empty (nothing to compare).
+        """
+        return _throttle_slowdown(
+            self.throttled_events,
+            self.throttled_latency_ms,
+            self.unthrottled_events,
+            self.unthrottled_latency_ms,
+        )
+
+
+def _throttle_slowdown(
+    throttled_events: int,
+    throttled_latency_ms: float,
+    unthrottled_events: int,
+    unthrottled_latency_ms: float,
+) -> float:
+    if throttled_events == 0 or unthrottled_events == 0:
+        return 0.0
+    unthrottled_mean = unthrottled_latency_ms / unthrottled_events
+    if unthrottled_mean <= 0:
+        return 0.0
+    return throttled_latency_ms / throttled_events / unthrottled_mean - 1.0
+
+
+@dataclass(frozen=True)
+class ThermalAggregate:
+    """Thermal metrics folded over the sessions that carried them."""
+
+    n_sessions: int
+    peak_temperature_c: float
+    #: Time-weighted throttle residency over the aggregated sessions.
+    throttle_residency: float
+    throttle_slowdown: float
+
+    def to_dict(self) -> dict:
+        return {
+            "n_sessions": self.n_sessions,
+            "peak_temperature_c": self.peak_temperature_c,
+            "throttle_residency": self.throttle_residency,
+            "throttle_slowdown": self.throttle_slowdown,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ThermalAggregate":
+        return cls(
+            n_sessions=int(payload["n_sessions"]),
+            peak_temperature_c=float(payload["peak_temperature_c"]),
+            throttle_residency=float(payload["throttle_residency"]),
+            throttle_slowdown=float(payload["throttle_slowdown"]),
+        )
+
+
 @dataclass
 class SessionResult:
     """Result of replaying one trace under one scheduler."""
@@ -62,6 +154,8 @@ class SessionResult:
     prediction_rounds: int = 0
     pfb_size_history: list[tuple[float, int]] = field(default_factory=list)
     duration_ms: float = 0.0
+    #: Thermal telemetry when the replay tracked live thermal state.
+    thermal: ThermalSessionStats | None = None
 
     # -- energy ------------------------------------------------------------------
 
@@ -171,6 +265,16 @@ class StreamingAggregator:
     wasted_time_ms: float = 0.0
     mispredictions: int = 0
     commits: int = 0
+    # Thermal accumulators; only sessions carrying ThermalSessionStats fold
+    # into these, so a mixed static/dynamic sweep aggregates each cleanly.
+    thermal_sessions: int = 0
+    thermal_peak_c: float = 0.0
+    thermal_throttled_ms: float = 0.0
+    thermal_duration_ms: float = 0.0
+    thermal_throttled_events: int = 0
+    thermal_unthrottled_events: int = 0
+    thermal_throttled_latency_ms: float = 0.0
+    thermal_unthrottled_latency_ms: float = 0.0
 
     def add(self, result: SessionResult) -> None:
         """Fold one session into the running totals."""
@@ -192,6 +296,17 @@ class StreamingAggregator:
         self.wasted_time_ms += result.wasted_time_ms
         self.mispredictions += result.mispredictions
         self.commits += result.commits
+        if result.thermal is not None:
+            stats = result.thermal
+            if self.thermal_sessions == 0 or stats.peak_temperature_c > self.thermal_peak_c:
+                self.thermal_peak_c = stats.peak_temperature_c
+            self.thermal_sessions += 1
+            self.thermal_throttled_ms += stats.throttled_ms
+            self.thermal_duration_ms += stats.duration_ms
+            self.thermal_throttled_events += stats.throttled_events
+            self.thermal_unthrottled_events += stats.unthrottled_events
+            self.thermal_throttled_latency_ms += stats.throttled_latency_ms
+            self.thermal_unthrottled_latency_ms += stats.unthrottled_latency_ms
 
     def merge(self, other: "StreamingAggregator") -> None:
         """Fold another aggregator's totals into this one."""
@@ -213,6 +328,37 @@ class StreamingAggregator:
         self.wasted_time_ms += other.wasted_time_ms
         self.mispredictions += other.mispredictions
         self.commits += other.commits
+        if other.thermal_sessions:
+            if self.thermal_sessions == 0 or other.thermal_peak_c > self.thermal_peak_c:
+                self.thermal_peak_c = other.thermal_peak_c
+            self.thermal_sessions += other.thermal_sessions
+            self.thermal_throttled_ms += other.thermal_throttled_ms
+            self.thermal_duration_ms += other.thermal_duration_ms
+            self.thermal_throttled_events += other.thermal_throttled_events
+            self.thermal_unthrottled_events += other.thermal_unthrottled_events
+            self.thermal_throttled_latency_ms += other.thermal_throttled_latency_ms
+            self.thermal_unthrottled_latency_ms += other.thermal_unthrottled_latency_ms
+
+    def finalize_thermal(self) -> ThermalAggregate | None:
+        """Thermal aggregate of the folded sessions, ``None`` when untracked."""
+        if self.thermal_sessions == 0:
+            return None
+        residency = (
+            self.thermal_throttled_ms / self.thermal_duration_ms
+            if self.thermal_duration_ms > 0
+            else 0.0
+        )
+        return ThermalAggregate(
+            n_sessions=self.thermal_sessions,
+            peak_temperature_c=self.thermal_peak_c,
+            throttle_residency=residency,
+            throttle_slowdown=_throttle_slowdown(
+                self.thermal_throttled_events,
+                self.thermal_throttled_latency_ms,
+                self.thermal_unthrottled_events,
+                self.thermal_unthrottled_latency_ms,
+            ),
+        )
 
     def finalize(self) -> AggregateMetrics:
         if self.scheduler_name is None or self.n_sessions == 0:
@@ -271,6 +417,10 @@ class StreamingMatrixAggregator:
         """Overall and per-app aggregates of one ``(key, scheme)`` cell."""
         sweep = self.cells[(key, scheme)]
         return sweep.finalize(), sweep.finalize_per_app()
+
+    def finalize_cell_thermal(self, key: str, scheme: str) -> ThermalAggregate | None:
+        """Thermal aggregate of one cell (``None`` when its sessions carried none)."""
+        return self.cells[(key, scheme)].overall.finalize_thermal()
 
 
 def aggregate_results(results: Iterable[SessionResult]) -> AggregateMetrics:

@@ -57,6 +57,7 @@ from repro.runtime.metrics import (
     SessionResult,
     StreamingMatrixAggregator,
     StreamingSweepAggregator,
+    ThermalAggregate,
 )
 from repro.runtime.simulator import KNOWN_SCHEMES, SimulationSetup, Simulator
 from repro.traces.trace import Trace, TraceSet
@@ -75,10 +76,18 @@ __all__ = [
 
 @dataclass(frozen=True)
 class SchemeAggregates:
-    """Streamed aggregates of one scheme's sweep."""
+    """Streamed aggregates of one scheme's sweep.
+
+    ``thermal`` carries the folded dynamic-thermal telemetry (peak
+    temperature, throttle residency, throttle slowdown) and is ``None``
+    whenever the sweep's sessions did not track live thermal state —
+    static-thermal and thermal-free runs keep their aggregate shape (and
+    serialised artefacts) unchanged.
+    """
 
     overall: AggregateMetrics
     per_app: dict[str, AggregateMetrics]
+    thermal: ThermalAggregate | None = None
 
 
 @dataclass
@@ -305,7 +314,9 @@ class ParallelEvaluator:
 
         aggregates = {
             scheme: SchemeAggregates(
-                overall=sweep.finalize(), per_app=sweep.finalize_per_app()
+                overall=sweep.finalize(),
+                per_app=sweep.finalize_per_app(),
+                thermal=sweep.overall.finalize_thermal(),
             )
             for scheme, sweep in sweeps.items()
             if sweep.overall.n_sessions
@@ -363,7 +374,11 @@ class ParallelEvaluator:
                 if (sweep.key, scheme) not in aggregator.cells:
                     continue
                 overall, per_app = aggregator.finalize_cell(sweep.key, scheme)
-                per_scheme[scheme] = SchemeAggregates(overall=overall, per_app=per_app)
+                per_scheme[scheme] = SchemeAggregates(
+                    overall=overall,
+                    per_app=per_app,
+                    thermal=aggregator.finalize_cell_thermal(sweep.key, scheme),
+                )
             if per_scheme:
                 aggregates[sweep.key] = per_scheme
 

@@ -18,6 +18,7 @@ from repro.hardware.acmp import AcmpSystem
 from repro.hardware.energy import SwitchingCosts
 from repro.hardware.platforms import exynos_5410
 from repro.hardware.power import PowerModel, PowerTable
+from repro.hardware.thermal import ThermalModel
 from repro.runtime.engine import EngineConfig, OracleEngine, ProactiveEngine, ReactiveEngine
 from repro.runtime.metrics import AggregateMetrics, SessionResult, aggregate_results, group_by_app
 from repro.schedulers.base import ReactiveScheduler
@@ -43,12 +44,22 @@ KNOWN_SCHEMES: tuple[str, ...] = tuple(BASELINE_FACTORIES) + ("PES", "Oracle")
 
 @dataclass
 class SimulationSetup:
-    """Hardware platform plus derived models used by every simulation."""
+    """Hardware platform plus derived models used by every simulation.
+
+    ``thermal`` enables *dynamic* thermal throttling: the engines thread a
+    live :class:`~repro.hardware.thermal.ThermalState` for the named curve
+    through every session replay, advancing temperature per event and
+    capping the configuration space the schedulers plan over.  Leave it
+    ``None`` for the pre-thermal behaviour (including platforms that were
+    already *statically* throttled via
+    :meth:`~repro.hardware.thermal.ThermalModel.constrain`).
+    """
 
     system: AcmpSystem = field(default_factory=exynos_5410)
     power_model: PowerModel = field(default_factory=PowerModel)
     pipeline: RenderingPipeline = field(default_factory=RenderingPipeline)
     switching: SwitchingCosts = field(default_factory=SwitchingCosts)
+    thermal: ThermalModel | None = None
     power_table: PowerTable = field(init=False)
 
     def __post_init__(self) -> None:
@@ -60,6 +71,7 @@ class SimulationSetup:
             power_table=self.power_table,
             pipeline=self.pipeline,
             switching=self.switching,
+            thermal=self.thermal,
         )
 
 

@@ -84,6 +84,15 @@ def _builtin_scenarios() -> dict[str, ScenarioSpec]:
             thermal="cramped_chassis",
             description="marathon sessions in a cramped chassis: deep thermal throttle",
         ),
+        ScenarioSpec(
+            name="hot_chassis_live",
+            regime="flash_crowd",
+            apps="core",
+            thermal="cramped_chassis",
+            thermal_mode="dynamic",
+            description="flash-crowd bursts heat a cramped chassis mid-session: "
+            "per-event throttling with live heat-up/cool-down",
+        ),
     ]
     return {spec.name: spec for spec in specs}
 
@@ -180,6 +189,24 @@ def _builtin_matrices() -> dict[str, ScenarioMatrix]:
             app_mixes=("core",),
             schemes=("Interactive", "EBS"),
             description="throttle-dwell study: short bursts vs marathons per curve",
+        ),
+        # The per-event counterpart of the "thermal" matrix: the same curve x
+        # regime grid, but throttled live inside the engines.  The comparison
+        # is the headline result of dynamic mode — the static collapse
+        # (flat-out dwell for the whole session) throttles marathons hardest,
+        # while live dynamics show the opposite: ~50%-duty flash-crowd bursts
+        # heat the package past its thresholds and low-duty marathons never do.
+        "thermal_dynamic": ScenarioMatrix(
+            name="thermal_dynamic",
+            platform_sweep=PlatformSweep(
+                platforms=("exynos5410",),
+                thermal_models=(None, "passive_phone", "cramped_chassis"),
+            ),
+            regimes=("flash_crowd", "marathon"),
+            app_mixes=("core",),
+            schemes=("Interactive", "EBS"),
+            thermal_mode="dynamic",
+            description="per-event thermal dynamics: live mid-session throttling per curve",
         ),
     }
 

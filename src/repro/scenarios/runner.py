@@ -22,7 +22,7 @@ from typing import Sequence
 
 from repro.core.predictor.sequence_learner import EventSequenceLearner
 from repro.core.predictor.training import PredictorTrainer
-from repro.runtime.metrics import AggregateMetrics
+from repro.runtime.metrics import AggregateMetrics, ThermalAggregate
 from repro.runtime.parallel import MatrixSweep, ParallelEvaluator, SchemeAggregates
 from repro.runtime.simulator import SimulationSetup
 from repro.scenarios.spec import ScenarioSpec
@@ -65,17 +65,23 @@ class ScenarioResult:
     # -- serialisation ----------------------------------------------------------
 
     def to_dict(self) -> dict:
+        schemes: dict[str, dict] = {}
+        for scheme, aggregates in self.aggregates.items():
+            cell = {
+                "overall": asdict(aggregates.overall),
+                "per_app": {
+                    app: asdict(metrics) for app, metrics in aggregates.per_app.items()
+                },
+            }
+            if aggregates.thermal is not None:
+                # Only dynamic-thermal cells carry the block, so static and
+                # thermal-free artefacts (including the committed golden
+                # fixture) keep their exact byte shape.
+                cell["thermal"] = aggregates.thermal.to_dict()
+            schemes[scheme] = cell
         return {
             "spec": self.spec.to_dict(),
-            "schemes": {
-                scheme: {
-                    "overall": asdict(aggregates.overall),
-                    "per_app": {
-                        app: asdict(metrics) for app, metrics in aggregates.per_app.items()
-                    },
-                }
-                for scheme, aggregates in self.aggregates.items()
-            },
+            "schemes": schemes,
             "normalised_energy": self.normalised_energy(),
             "qos_violation": self.qos_violation(),
         }
@@ -89,6 +95,11 @@ class ScenarioResult:
                     app: AggregateMetrics(**metrics)
                     for app, metrics in cell["per_app"].items()
                 },
+                thermal=(
+                    ThermalAggregate.from_dict(cell["thermal"])
+                    if cell.get("thermal") is not None
+                    else None
+                ),
             )
             for scheme, cell in payload["schemes"].items()
         }
@@ -110,7 +121,11 @@ class ScenarioRunner:
     #: worker pool; below this, pool start-up (a full interpreter spawn on
     #: non-Linux platforms) costs more than generating the traces serially.
     parallel_generation_threshold: int = 16
-    _trained: EventSequenceLearner | None = field(default=None, init=False, repr=False)
+    #: Trained learners keyed by the fields that define them — see
+    #: :meth:`train_learner`.
+    _trained: dict[tuple[int, int], EventSequenceLearner] = field(
+        default_factory=dict, init=False, repr=False
+    )
 
     # -- building blocks --------------------------------------------------------
 
@@ -135,25 +150,34 @@ class ScenarioRunner:
         )
         return MatrixSweep(
             key=spec.name,
-            setup=SimulationSetup(system=spec.system()),
+            setup=SimulationSetup(
+                system=spec.system(), thermal=spec.dynamic_thermal_model()
+            ),
             traces=tuple(traces),
             schemes=spec.schemes,
             pes_config=spec.pes,
         )
 
     def train_learner(self) -> EventSequenceLearner:
-        """Train (once) the default predictor used by PES scenarios.
+        """Train (once per training configuration) the default PES predictor.
 
-        The training inputs are all runner fields, so the learner is cached
-        on the runner and reused across :meth:`run` calls.
+        The training inputs are ``train_traces_per_app`` and ``train_seed``,
+        so the cache is keyed on exactly that pair: mutating either field
+        after a first :meth:`run` trains a fresh learner instead of silently
+        returning the stale one, while repeated runs with unchanged fields
+        keep hitting the cached learner (and, downstream, the per-app warm
+        PES schedulers that compare learners by value).
         """
-        if self._trained is None:
+        key = (self.train_traces_per_app, self.train_seed)
+        learner = self._trained.get(key)
+        if learner is None:
             generator = TraceGenerator(catalog=self.catalog)
             training = generator.generate_many(
                 list(SEEN_APPS), self.train_traces_per_app, base_seed=self.train_seed
             )
-            self._trained = PredictorTrainer(catalog=self.catalog).train(training).learner
-        return self._trained
+            learner = PredictorTrainer(catalog=self.catalog).train(training).learner
+            self._trained[key] = learner
+        return learner
 
     # -- execution --------------------------------------------------------------
 
@@ -197,12 +221,20 @@ def results_to_rows(
 
 
 def results_to_payload(
-    results: Sequence[ScenarioResult], *, matrix: str | None = None, jobs: int | None = None
+    results: Sequence[ScenarioResult], *, matrix: str | None = None
 ) -> dict:
-    """The JSON payload of a scenario run (schema of ``SCENARIOS_*.json``)."""
+    """The JSON payload of a scenario run (schema of ``SCENARIOS_*.json``).
+
+    The payload is a pure function of the results: the worker count used to
+    produce them is deliberately *not* recordable.  An always-``null``
+    ``jobs`` key is kept for schema compatibility with older artefacts —
+    embedding the real value made ``scenarios run`` write different files
+    for ``--jobs 1`` and ``--jobs 4`` even though the results were
+    bit-identical, breaking byte-level artefact diffing.
+    """
     return {
         "matrix": matrix,
-        "jobs": jobs,
+        "jobs": None,
         "n_scenarios": len(results),
         "scenarios": [result.to_dict() for result in results],
     }
@@ -213,11 +245,10 @@ def write_results(
     path: str | Path,
     *,
     matrix: str | None = None,
-    jobs: int | None = None,
 ) -> Path:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    payload = results_to_payload(results, matrix=matrix, jobs=jobs)
+    payload = results_to_payload(results, matrix=matrix)
     path.write_text(json.dumps(payload, indent=2) + "\n")
     return path
 

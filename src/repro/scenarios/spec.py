@@ -90,11 +90,22 @@ class ScenarioSpec:
     little_cores: int | None = None
     perf_scale: float | None = None
     thermal: str | None = None
+    #: How the ``thermal`` curve is applied.  ``"static"`` collapses it to
+    #: one pre-throttled platform per scenario (the regime's session length
+    #: as heat-up dwell); ``"dynamic"`` threads a live thermal state through
+    #: the engines instead, throttling per event as the package heats and
+    #: cools.  Without a ``thermal`` curve both modes are identical.
+    thermal_mode: str = "static"
     description: str = ""
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("a scenario needs a name")
+        if self.thermal_mode not in ("static", "dynamic"):
+            raise ValueError(
+                f"scenario {self.name!r} thermal_mode must be 'static' or 'dynamic', "
+                f"got {self.thermal_mode!r}"
+            )
         # Building the variant validates platform name, core counts,
         # perf_scale range, and the thermal-model name in one place.
         self.platform_variant()
@@ -134,20 +145,36 @@ class ScenarioSpec:
         """The derived platform with regime and thermal constraints applied.
 
         Order: parameter overrides first, then the regime's frequency cap,
-        then the thermal throttle (hottest constraint wins — successive
-        caps compose as their minimum and are idempotent).  The thermal
-        heat-up dwell is the regime's target session length, so short
-        regimes throttle less than marathons under the same curve.
+        then — in ``static`` mode only — the thermal throttle (hottest
+        constraint wins; successive caps compose as their minimum and are
+        idempotent), with the regime's target session length as the heat-up
+        dwell.  In ``dynamic`` mode the thermal curve is deliberately *not*
+        baked into the platform: the engines apply it live, per event
+        (:func:`dynamic_thermal_model`), so the returned system is only
+        regime-constrained.
         """
         variant = self.platform_variant()
         regime = self.resolved_regime()
         system = regime.constrain(variant.derived_system())
         model = variant.thermal_model()
-        if model is not None:
+        if model is not None and self.thermal_mode == "static":
             system = model.constrain(
                 system, dwell_s=regime.session.target_duration_ms / 1000.0
             )
         return system
+
+    def dynamic_thermal_model(self):
+        """The live thermal model for the engines, ``None`` unless dynamic.
+
+        Returns the named :class:`~repro.hardware.thermal.ThermalModel` when
+        ``thermal_mode == "dynamic"`` and a curve is set — the object
+        :class:`~repro.runtime.simulator.SimulationSetup` (and through it
+        every engine) receives.  Static mode returns ``None`` because the
+        curve is already collapsed into :meth:`system`.
+        """
+        if self.thermal_mode != "dynamic":
+            return None
+        return self.platform_variant().thermal_model()
 
     @property
     def baseline(self) -> str:
@@ -161,7 +188,7 @@ class ScenarioSpec:
     # -- serialisation ----------------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "name": self.name,
             "platform": self.platform,
             "regime": self.regime,
@@ -175,8 +202,14 @@ class ScenarioSpec:
             "little_cores": self.little_cores,
             "perf_scale": self.perf_scale,
             "thermal": self.thermal,
-            "description": self.description,
         }
+        if self.thermal_mode != "static":
+            # Emitted only when non-default so pre-thermal artefacts and the
+            # committed golden fixture stay byte-identical; from_dict
+            # defaults a missing key back to "static".
+            payload["thermal_mode"] = self.thermal_mode
+        payload["description"] = self.description
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ScenarioSpec":
@@ -195,6 +228,7 @@ class ScenarioSpec:
             little_cores=payload.get("little_cores"),
             perf_scale=payload.get("perf_scale"),
             thermal=payload.get("thermal"),
+            thermal_mode=payload.get("thermal_mode", "static"),
             description=payload.get("description", ""),
         )
 
@@ -230,11 +264,18 @@ class ScenarioMatrix:
     platform_sweep: PlatformSweep | None = None
     traces_per_app: int = 1
     seed: int = 500_000
+    #: Applied to every expanded spec; see :attr:`ScenarioSpec.thermal_mode`.
+    thermal_mode: str = "static"
     description: str = ""
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("a matrix needs a name")
+        if self.thermal_mode not in ("static", "dynamic"):
+            raise ValueError(
+                f"matrix {self.name!r} thermal_mode must be 'static' or 'dynamic', "
+                f"got {self.thermal_mode!r}"
+            )
         for axis_name, axis in (
             ("regimes", self.regimes),
             ("app_mixes", self.app_mixes),
@@ -300,6 +341,7 @@ class ScenarioMatrix:
                     little_cores=variant.little_cores,
                     perf_scale=variant.perf_scale,
                     thermal=variant.thermal,
+                    thermal_mode=self.thermal_mode,
                     description=self.description,
                 )
             )
@@ -308,7 +350,7 @@ class ScenarioMatrix:
     # -- serialisation ----------------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "name": self.name,
             "platforms": list(self.platforms) if self.platforms is not None else None,
             "regimes": list(self.regimes),
@@ -322,8 +364,13 @@ class ScenarioMatrix:
             ),
             "traces_per_app": self.traces_per_app,
             "seed": self.seed,
-            "description": self.description,
         }
+        if self.thermal_mode != "static":
+            # Same conditional emission as ScenarioSpec: pre-thermal payloads
+            # keep their exact byte shape, from_dict defaults to "static".
+            payload["thermal_mode"] = self.thermal_mode
+        payload["description"] = self.description
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ScenarioMatrix":
@@ -342,5 +389,6 @@ class ScenarioMatrix:
             platform_sweep=PlatformSweep.from_dict(sweep) if sweep is not None else None,
             traces_per_app=int(payload.get("traces_per_app", 1)),
             seed=int(payload.get("seed", 500_000)),
+            thermal_mode=payload.get("thermal_mode", "static"),
             description=payload.get("description", ""),
         )

@@ -127,9 +127,38 @@ _OPTIONS_CACHE: dict[tuple, tuple[AcmpSystem, PowerTable, tuple[ConfigOption, ..
 _OPTIONS_CACHE_MAX = 4096
 
 
+#: Memoised throttled platforms, keyed ``(id(system), cap_mhz)``.  Each value
+#: pins the base system so its id cannot be recycled while the entry lives.
+#: Dynamic thermal throttling re-derives the same few capped systems once per
+#: event (one per curve step), so the memo keeps both the derivation and —
+#: because the returned object's id is stable — the ``_OPTIONS_CACHE`` hits
+#: of every scheduler that enumerates options on the capped platform.
+_CAPPED_SYSTEMS: dict[tuple[int, int], tuple[AcmpSystem, AcmpSystem]] = {}
+
+#: Safety valve: evict oldest entries beyond this many cached derivations
+#: (same role as ``_OPTIONS_CACHE_MAX`` — long-lived services keep building
+#: fresh setups, and an evicted entry only costs a re-derivation plus cold
+#: option caches for that platform, never correctness).
+_CAPPED_SYSTEMS_MAX = 1024
+
+
+def capped_system(system: AcmpSystem, cap_mhz: int) -> AcmpSystem:
+    """``system.with_frequency_cap(cap_mhz)``, memoised with a stable identity."""
+    key = (id(system), cap_mhz)
+    hit = _CAPPED_SYSTEMS.get(key)
+    if hit is not None:
+        return hit[1]
+    capped = system.with_frequency_cap(cap_mhz)
+    if len(_CAPPED_SYSTEMS) >= _CAPPED_SYSTEMS_MAX:
+        _CAPPED_SYSTEMS.pop(next(iter(_CAPPED_SYSTEMS)))
+    _CAPPED_SYSTEMS[key] = (system, capped)
+    return capped
+
+
 def clear_enumerate_options_cache() -> None:
     """Drop every memoised option sweep (tests / long-lived services)."""
     _OPTIONS_CACHE.clear()
+    _CAPPED_SYSTEMS.clear()
 
 
 def enumerate_options(
@@ -138,6 +167,7 @@ def enumerate_options(
     workload: DvfsModel,
     *,
     pareto_only: bool = False,
+    cap_mhz: int | None = None,
 ) -> list[ConfigOption]:
     """Enumerate the latency/energy of every configuration for a workload.
 
@@ -146,11 +176,21 @@ def enumerate_options(
     candidate set the optimizer branches over.  Options are returned sorted
     by ascending latency.
 
+    ``cap_mhz`` restricts the sweep to the throttled platform
+    (:func:`capped_system`): the candidate set a scheduler may pick from
+    while a thermal governor caps the ladder.  Because the capped platform
+    keeps each cluster's ``perf_scale`` and design-maximum frequency, the
+    filtered options carry exactly the latency/power an identically capped
+    *static* platform would produce — the bit-identity the dynamic thermal
+    engines rely on.
+
     Results are memoised per ``(system, power_table, workload, pareto_only)``
     — keyed on the ``DvfsModel`` *value* — because traces re-use workload
     models heavily and the sweep sits on the scheduling hot path.  A fresh
     list is returned on every call so callers may mutate it freely.
     """
+    if cap_mhz is not None:
+        system = capped_system(system, cap_mhz)
     key = (id(system), id(power_table), workload, pareto_only)
     cached = _OPTIONS_CACHE.get(key)
     if cached is not None:

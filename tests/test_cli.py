@@ -159,6 +159,34 @@ class TestScenariosCommand:
         assert "B vs A" in diff
         assert "+0.0%" in diff
 
+    def test_run_writes_jobs_independent_artefact(self, tmp_path, capsys):
+        # Regression: `scenarios run` used to embed the worker count in its
+        # artefact (`"jobs": 2`), so --jobs 1 and --jobs 2 produced different
+        # bytes for bit-identical results while `sweep` was already
+        # jobs-independent.  Both subcommands now write jobs-free artefacts.
+        args = [
+            "scenarios",
+            "run",
+            "--scenario",
+            "hot_chassis_live",
+            "--train-traces-per-app",
+            "1",
+        ]
+        out_serial = tmp_path / "serial.json"
+        assert main(args + ["--jobs", "1", "--out", str(out_serial)]) == 0
+        output = capsys.readouterr().out
+        # The dynamic-thermal scenario renders the thermal telemetry table.
+        assert "throttle res." in output
+
+        out_parallel = tmp_path / "parallel.json"
+        assert main(args + ["--jobs", "2", "--out", str(out_parallel)]) == 0
+        assert out_serial.read_bytes() == out_parallel.read_bytes()
+
+        payload = json.loads(out_serial.read_text())
+        assert payload["jobs"] is None
+        spec = payload["scenarios"][0]["spec"]
+        assert spec["thermal_mode"] == "dynamic"
+
     def test_sweep_writes_jobs_independent_artefact(self, tmp_path, capsys):
         args = [
             "scenarios",
@@ -243,7 +271,7 @@ class TestBenchCommand:
     def test_quick_bench_writes_all_artefacts(self, tmp_path, capsys):
         code = main(["bench", "--quick", "--jobs", "2", "--results-dir", str(tmp_path)])
         assert code == 0
-        for name in ("solver", "compare", "parallel", "scenarios", "sweep"):
+        for name in ("solver", "compare", "parallel", "scenarios", "sweep", "thermal"):
             path = tmp_path / f"BENCH_{name}.json"
             assert path.exists(), f"missing {path.name}"
             payload = json.loads(path.read_text())
@@ -255,6 +283,9 @@ class TestBenchCommand:
         sweep_payload = json.loads((tmp_path / "BENCH_sweep.json").read_text())
         assert sweep_payload["n_variants"] == 2
         assert sweep_payload["n_scenarios"] == 2
+        thermal_payload = json.loads((tmp_path / "BENCH_thermal.json").read_text())
+        assert thermal_payload["matrix"] == "thermal_quick"
+        assert thermal_payload["throttle_residency"]
 
     def test_only_filter(self, tmp_path):
         code = main(

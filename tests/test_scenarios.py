@@ -247,10 +247,11 @@ class TestScenarioRunner:
 
 class TestResultArtefacts:
     def test_json_round_trip(self, tmp_path, tiny_results):
-        path = write_results(tiny_results, tmp_path / "SCENARIOS_test.json", matrix="t", jobs=2)
+        path = write_results(tiny_results, tmp_path / "SCENARIOS_test.json", matrix="t")
         payload, restored = load_results(path)
         assert payload["matrix"] == "t"
-        assert payload["jobs"] == 2
+        # The worker count is never recorded; the key stays for schema compat.
+        assert payload["jobs"] is None
         assert payload["n_scenarios"] == len(tiny_results)
         for original, loaded in zip(tiny_results, restored):
             assert loaded.spec == original.spec

@@ -59,7 +59,7 @@ def replay_payload(jobs: int = 1) -> dict:
     function of the matrix.
     """
     results = ScenarioRunner(jobs=jobs).run(golden_matrix().expand())
-    payload = results_to_payload(results, matrix="golden", jobs=None)
+    payload = results_to_payload(results, matrix="golden")
     return json.loads(json.dumps(payload))
 
 
