@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Fault-injection walkthrough: how gracefully does each scheme degrade?
+
+The fault subsystem (``repro.faults``) injects seeded faults at four seams
+of a session replay — validated predictions flip to mispredictions, the
+thermal sensor sticks/lags/drifts, DVFS transitions fail and hold the
+prior configuration, and the event stream drops/duplicates/jitters events.
+A zero-rate (or absent) spec is bit-identical to a fault-free run, so the
+fault axis composes with every existing scenario axis.  This example:
+
+1. replays one session under the ``chaos`` preset and prints the per-seam
+   telemetry (injected vs recovered counts, fault-attributed energy),
+2. sweeps the predictor flip rate and plots (in text) the PES-vs-EBS
+   degradation curve — the headline robustness question: how fast does
+   the *predictive* scheme's advantage erode as its predictions are
+   corrupted, and when does it fall behind the reactive baseline it beat?
+
+Usage:
+    python examples/fault_injection.py [jobs]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.reporting import scenario_faults_table
+from repro.faults import FaultSpec, PredictorFaults, get_fault_preset
+from repro.scenarios import ScenarioRunner, ScenarioSpec
+
+
+def inspect_one_faulty_session() -> None:
+    """Replay one scenario under the chaos preset and print the seam telemetry."""
+    runner = ScenarioRunner(jobs=1)
+    (result,) = runner.run(
+        [
+            ScenarioSpec(
+                name="chaos_demo",
+                regime="flash_crowd",
+                apps=("cnn",),
+                schemes=("EBS", "PES"),
+                faults=get_fault_preset("chaos"),
+            )
+        ]
+    )
+
+    print("=== one flash-crowd cnn scenario under the 'chaos' preset ===")
+    for scheme in ("EBS", "PES"):
+        faults = result.aggregates[scheme].faults
+        assert faults is not None
+        print(
+            f"{scheme:<4} predictor {faults.predictor_injected}/{faults.predictor_recovered}"
+            f"  dvfs {faults.dvfs_injected}/{faults.dvfs_recovered}"
+            f"  sensor {faults.sensor_injected}/{faults.sensor_recovered}"
+            f"  stream drop={faults.events_dropped} dup={faults.events_duplicated}"
+            f" jitter={faults.events_jittered} recovered={faults.stream_recovered}"
+            f"  fault energy {faults.fault_energy_mj:.0f} mJ"
+        )
+    print()
+    print(scenario_faults_table([result]))
+
+
+def predictor_degradation_curve(jobs: int) -> None:
+    """PES vs EBS as the predictor fault rate climbs (Fig.-10-style waste)."""
+    flip_rates = (0.0, 0.1, 0.2, 0.4, 0.6, 0.8)
+    runner = ScenarioRunner(jobs=jobs)
+    specs = [
+        ScenarioSpec(
+            name=f"flip_{rate:g}",
+            regime="default",
+            apps="core",
+            schemes=("EBS", "PES"),
+            faults=(
+                FaultSpec(
+                    name=f"flip_{rate:g}",
+                    predictor=PredictorFaults(flip_rate=rate),
+                )
+                if rate > 0
+                else None
+            ),
+        )
+        for rate in flip_rates
+    ]
+    results = runner.run(specs)
+
+    print("\n=== PES-vs-EBS degradation as predictions are corrupted ===")
+    print(
+        f"{'flip rate':>9} {'EBS mJ':>10} {'PES mJ':>10} {'PES vs EBS':>11} "
+        f"{'PES QoS viol.':>14}"
+    )
+    for rate, result in zip(flip_rates, results):
+        ebs = result.aggregates["EBS"].overall
+        pes = result.aggregates["PES"].overall
+        ratio = pes.total_energy_mj / ebs.total_energy_mj
+        bar = "#" * round(ratio * 40)
+        print(
+            f"{rate * 100:>8.0f}% {ebs.total_energy_mj:>10.0f} "
+            f"{pes.total_energy_mj:>10.0f} {ratio * 100:>10.1f}% "
+            f"{pes.qos_violation_rate * 100:>13.1f}%  {bar}"
+        )
+    print(
+        "\nEach flipped validation sends PES through its real misprediction\n"
+        "recovery (sprint-to-deadline, consecutive-miss disable), so the curve\n"
+        "shows the scheme's actual failure mode: energy creeps toward — and\n"
+        "past — the reactive baseline as the predictor is corrupted, while\n"
+        "EBS, which never consults the predictor, is untouched by this seam."
+    )
+
+
+def main() -> None:
+    jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 1
+    inspect_one_faulty_session()
+    predictor_degradation_curve(jobs)
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,7 @@ from repro.analysis.reporting import (
     format_table,
     format_percentage_map,
     scenario_energy_table,
+    scenario_faults_table,
     scenario_qos_table,
 )
 
@@ -22,5 +23,6 @@ __all__ = [
     "format_table",
     "format_percentage_map",
     "scenario_energy_table",
+    "scenario_faults_table",
     "scenario_qos_table",
 ]

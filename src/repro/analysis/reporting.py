@@ -205,6 +205,41 @@ def scenario_thermal_table(results: Sequence) -> str:
     )
 
 
+def scenario_faults_table(results: Sequence) -> str:
+    """Per-scenario resilience telemetry of every fault-injected scheme cell.
+
+    ``results`` is a sequence of
+    :class:`~repro.scenarios.runner.ScenarioResult`; only cells whose
+    aggregates carry a :class:`~repro.runtime.metrics.FaultAggregate`
+    (i.e. replays with a non-null fault spec) contribute rows.  Returns an
+    empty string when no cell injected faults, so callers can print the
+    table only when it has something to say.
+    """
+    table_rows: list[list[object]] = []
+    for result in results:
+        for scheme, aggregates in result.aggregates.items():
+            faults = getattr(aggregates, "faults", None)
+            if faults is None:
+                continue
+            table_rows.append(
+                [
+                    result.spec.name,
+                    scheme,
+                    faults.injected,
+                    faults.recovered,
+                    format_percentage(faults.recovery_rate),
+                    format_percentage(faults.energy_inflation),
+                ]
+            )
+    if not table_rows:
+        return ""
+    return format_table(
+        ["scenario", "scheme", "injected", "recovered", "recovery", "energy infl."],
+        table_rows,
+        min_width=8,
+    )
+
+
 def scenario_qos_table(rows: Mapping[str, Mapping[str, AggregateMetrics]]) -> str:
     """Per-scenario QoS violation rate of every scheme."""
     schemes = _scheme_columns(rows)

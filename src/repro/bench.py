@@ -23,6 +23,11 @@ Four benches anchor the perf trajectory of the repo:
   where per-event cap derivation and capped-option enumeration would show
   up if their memoisation regresses; also records the throttle residency
   observed per curve so the bench doubles as a physics smoke check.
+* ``bench_faults`` — resilience: the ``fault_sweep`` matrix with seeded
+  predictor/sensor/DVFS/event-stream faults injected per session, the
+  path where per-event fault draws and the sensed-temperature cap would
+  show up if they regress; records injected/recovered counts per preset
+  so the trajectory doubles as an injection smoke check.
 
 Each bench emits a JSON file under ``results/`` with the schema
 ``{name, ops_per_sec, wall_s, git_rev}`` so future PRs can regress against
@@ -425,6 +430,77 @@ def bench_thermal(jobs: int = 2, quick: bool = False) -> BenchResult:
     )
 
 
+def bench_faults(jobs: int = 2, quick: bool = False) -> BenchResult:
+    """Wall-clock of a fault-injected matrix (ops = scheme x trace replays).
+
+    Runs the built-in ``fault_sweep`` matrix — every fault preset plus a
+    fault-free control column over the reactive baselines and PES — so the
+    bench exercises the per-event fault draws, the transformed event
+    streams, and the sensed-temperature cap path on every replay.
+    ``quick`` shrinks the grid to one preset against the control.  The
+    extra payload records injected/recovered counts per fault cell so the
+    trajectory also tracks *whether* injection engaged, not just how fast
+    the engine ran.
+    """
+    import os
+
+    from repro.faults import get_fault_preset
+    from repro.scenarios import ScenarioMatrix, ScenarioRunner, get_matrix
+    from repro.utils import resolve_jobs
+
+    jobs = resolve_jobs(jobs)
+    if quick:
+        matrix = ScenarioMatrix(
+            name="faults_quick",
+            platforms=("exynos5410",),
+            regimes=("default",),
+            app_mixes=("core",),
+            schemes=("Interactive", "EBS"),
+            fault_specs=(None, get_fault_preset("chaos")),
+            seed=BENCH_SEED,
+        )
+    else:
+        matrix = get_matrix("fault_sweep")
+    expanded = matrix.expand()
+    runner = ScenarioRunner(jobs=jobs)
+
+    learner = (
+        runner.train_learner()
+        if any("PES" in spec.schemes for spec in expanded)
+        else None
+    )
+    start = time.perf_counter()
+    results = runner.run(expanded, learner=learner)
+    elapsed = time.perf_counter() - start
+    replays = sum(spec.n_sessions * len(spec.schemes) for spec in expanded)
+    injection = {
+        result.spec.name: {
+            scheme: {
+                "injected": aggregates.faults.injected,
+                "recovered": aggregates.faults.recovered,
+            }
+            for scheme, aggregates in result.aggregates.items()
+            if aggregates.faults is not None
+        }
+        for result in results
+    }
+    return BenchResult(
+        name="faults",
+        ops_per_sec=replays / elapsed,
+        wall_s=elapsed,
+        git_rev=git_rev(),
+        extra={
+            "matrix": matrix.name,
+            "jobs": jobs,
+            "cpu_count": os.cpu_count(),
+            "n_scenarios": len(results),
+            "n_replays": replays,
+            "schemes": list(matrix.schemes),
+            "injection": injection,
+        },
+    )
+
+
 #: Bench name -> factory taking the shared (jobs, quick) knobs.
 BENCHES = {
     "solver": lambda jobs, quick: bench_solver(min_duration_s=0.2 if quick else 3.0),
@@ -437,6 +513,7 @@ BENCHES = {
     "scenarios": lambda jobs, quick: bench_scenarios(jobs=jobs, quick=quick),
     "sweep": lambda jobs, quick: bench_sweep(jobs=jobs, quick=quick),
     "thermal": lambda jobs, quick: bench_thermal(jobs=jobs, quick=quick),
+    "faults": lambda jobs, quick: bench_faults(jobs=jobs, quick=quick),
 }
 
 

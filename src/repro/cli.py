@@ -25,6 +25,15 @@ C`` (hottest package temperature), ``throttle res.`` (fraction of the
 session spent under an engaged cap), and ``throttle slowdown`` (relative
 latency inflation of throttle-planned events).
 
+Fault injection (``--faults`` on ``scenarios run``/``sweep``) crosses the
+named :data:`~repro.faults.FAULT_PRESETS` (plus ``none`` for a fault-free
+control column) into the scenario axes: each cell replays with seeded
+predictor/sensor/DVFS/event-stream faults and reports injected/recovered
+counts, recovery rate, and energy inflation per scenario x scheme.  Long
+matrix runs checkpoint each finished scenario to a ``<out>.journal``
+sidecar; after a crash or Ctrl-C, ``--resume`` skips the journaled cells
+and the final artefact is byte-identical to an uninterrupted run.
+
 Examples::
 
     python -m repro generate --apps cnn bbc --traces 3 --out traces.json
@@ -32,8 +41,11 @@ Examples::
     python -m repro evaluate --apps cnn google --schemes Interactive EBS PES
     python -m repro scenarios list
     python -m repro scenarios run --matrix thermal_dynamic --jobs 2
+    python -m repro scenarios run --matrix fault_sweep
+    python -m repro scenarios run --matrix full --jobs 0 --resume
     python -m repro scenarios sweep --thermal none cramped_chassis --thermal-mode dynamic
-    python -m repro bench --only thermal
+    python -m repro scenarios sweep --faults none chaos --schemes Interactive EBS PES
+    python -m repro bench --only thermal faults
 
 ``evaluate``, ``scenarios run``/``sweep``, and ``bench`` take ``--jobs N``
 to fan the (scheme x trace) replays out over N worker processes
@@ -167,7 +179,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="output JSON path (default: results/SCENARIOS_<name>.json)"
     )
 
+    from repro.faults import list_fault_presets
     from repro.hardware.thermal import list_thermal_models
+
+    def _add_fault_and_resume_args(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--faults",
+            nargs="+",
+            default=None,
+            choices=["none"] + list_fault_presets(),
+            help="fault presets to cross into the matrix ('none' = a fault-free "
+            "control cell); each preset replays every cell with seeded "
+            "predictor/sensor/DVFS/event-stream faults",
+        )
+        sub_parser.add_argument(
+            "--resume",
+            action="store_true",
+            help="skip scenarios already completed in the run's <out>.journal "
+            "checkpoint (written per finished scenario; survives crashes and "
+            "Ctrl-C; the resumed artefact is byte-identical to an "
+            "uninterrupted run)",
+        )
+
+    _add_fault_and_resume_args(scenarios_run)
 
     scenarios_sweep = action.add_parser(
         "sweep", help="sweep platform parameters (cores x perf_scale x thermal curves)"
@@ -240,6 +274,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="output JSON path (default: results/SCENARIOS_sweep_<name>.json)",
     )
+    _add_fault_and_resume_args(scenarios_sweep)
 
     scenarios_compare = action.add_parser(
         "compare", help="render or diff saved SCENARIOS_*.json artefacts"
@@ -262,7 +297,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--only",
         nargs="+",
         default=None,
-        choices=["solver", "compare", "parallel", "scenarios", "sweep", "thermal"],
+        choices=["solver", "compare", "parallel", "scenarios", "sweep", "thermal", "faults"],
         help="run only these benches",
     )
     bench.add_argument(
@@ -363,10 +398,23 @@ def _sweep_axis(values: Sequence | None) -> tuple:
     )
 
 
+def _fault_axis(names: Sequence[str] | None):
+    """``--faults`` values -> a ``fault_specs`` axis (``'none'`` -> no faults)."""
+    if names is None:
+        return None
+    from repro.faults import get_fault_preset
+
+    return tuple(None if name == "none" else get_fault_preset(name) for name in names)
+
+
 def _cmd_scenarios(args: argparse.Namespace) -> int:
+    import dataclasses
+    from pathlib import Path
+
     from repro.analysis.reporting import (
         format_table,
         scenario_energy_table,
+        scenario_faults_table,
         scenario_qos_table,
         scenario_thermal_table,
     )
@@ -374,6 +422,8 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         APP_MIXES,
         BUILTIN_SCENARIOS,
         MATRICES,
+        MatrixJournal,
+        ScenarioMatrix,
         ScenarioRunner,
         get_matrix,
         get_scenario,
@@ -405,19 +455,44 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
             print(f"  {name:<18} {matrix.n_cells:>3} scenarios — {matrix.description}")
         from repro.hardware.thermal import THERMAL_MODELS
 
+        from repro.faults import list_fault_presets
+
         print(f"session regimes: {', '.join(sorted(SESSION_REGIMES))}")
         print(f"app mixes: {', '.join(sorted(APP_MIXES))}")
         print(f"thermal models: {', '.join(sorted(THERMAL_MODELS))}")
+        print(f"fault presets: {', '.join(list_fault_presets())}")
         return 0
 
     if args.action == "run":
+        from repro.bench import _default_results_dir
         from repro.utils import resolve_jobs
 
+        fault_axis = _fault_axis(args.faults)
         if args.scenario:
             specs = [get_scenario(name) for name in args.scenario]
             run_name = "custom"
+            if fault_axis is not None:
+                # Cross the named scenarios with the fault axis the way a
+                # matrix would, suffixing cell names only when the axis has
+                # more than one entry (mirrors ScenarioMatrix.expand()).
+                specs = [
+                    dataclasses.replace(
+                        spec,
+                        faults=fault,
+                        name=(
+                            f"{spec.name}/{ScenarioMatrix._fault_label(fault)}"
+                            if len(fault_axis) > 1
+                            else spec.name
+                        ),
+                    )
+                    for spec in specs
+                    for fault in fault_axis
+                ]
         else:
-            specs = get_matrix(args.matrix).expand()
+            matrix = get_matrix(args.matrix)
+            if fault_axis is not None:
+                matrix = dataclasses.replace(matrix, fault_specs=fault_axis)
+            specs = matrix.expand()
             run_name = args.matrix
         jobs = resolve_jobs(args.jobs)
         runner = ScenarioRunner(jobs=jobs, train_traces_per_app=args.train_traces_per_app)
@@ -426,7 +501,14 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
             f"running {len(specs)} scenario(s), {n_replays} session replay(s), "
             f"{jobs} worker(s)..."
         )
-        results = runner.run(specs)
+        out = Path(args.out) if args.out is not None else (
+            _default_results_dir() / f"SCENARIOS_{run_name}.json"
+        )
+        # Every finished scenario checkpoints to the journal sidecar; after a
+        # crash, --resume replays only the missing cells and the final
+        # artefact is byte-identical to an uninterrupted run's.
+        journal = MatrixJournal(Path(str(out) + ".journal"))
+        results = runner.run(specs, journal=journal, resume=args.resume)
 
         rows = results_to_rows(results)
         print(scenario_energy_table(rows))
@@ -436,24 +518,23 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         if thermal_table:
             print()
             print(thermal_table)
+        faults_table = scenario_faults_table(results)
+        if faults_table:
+            print()
+            print(faults_table)
 
-        if args.out is not None:
-            out = args.out
-        else:
-            from repro.bench import _default_results_dir
-
-            out = _default_results_dir() / f"SCENARIOS_{run_name}.json"
         # The artefact is a pure function of the results — never of the
         # worker count — so --jobs 1 and --jobs 4 write byte-identical files
         # (run and sweep alike; write_results no longer accepts a jobs value).
         path = write_results(results, out, matrix=run_name)
+        journal.clear()
         print(f"\nwrote {len(results)} scenario results to {path}")
         return 0
 
     if args.action == "sweep":
         from repro.analysis.reporting import sweep_energy_table, sweep_platform_table
         from repro.bench import _default_results_dir
-        from repro.scenarios import PlatformSweep, ScenarioMatrix
+        from repro.scenarios import PlatformSweep
         from repro.utils import resolve_jobs
 
         try:
@@ -472,6 +553,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
                 traces_per_app=args.traces_per_app,
                 seed=args.seed,
                 thermal_mode=args.thermal_mode,
+                fault_specs=_fault_axis(args.faults) or (None,),
                 description="ad-hoc platform-parameter sweep",
             )
             specs = matrix.expand()
@@ -486,7 +568,11 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
             f"sweeping {len(matrix.platform_variants())} platform variant(s), "
             f"{len(specs)} scenario(s), {n_replays} session replay(s), {jobs} worker(s)..."
         )
-        results = runner.run(specs)
+        out = Path(args.out) if args.out is not None else (
+            _default_results_dir() / f"SCENARIOS_sweep_{args.name}.json"
+        )
+        journal = MatrixJournal(Path(str(out) + ".journal"))
+        results = runner.run(specs, journal=journal, resume=args.resume)
 
         rows = results_to_rows(results)
         print(sweep_platform_table(specs))
@@ -500,14 +586,16 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         if thermal_table:
             print()
             print(thermal_table)
+        faults_table = scenario_faults_table(results)
+        if faults_table:
+            print()
+            print(faults_table)
 
-        out = args.out if args.out is not None else (
-            _default_results_dir() / f"SCENARIOS_sweep_{args.name}.json"
-        )
         # The artefact is a pure function of the matrix: no jobs field, so
         # --jobs 1 and --jobs 4 runs produce byte-identical files (the
         # differential harness compares them with a plain dict ==).
         path = write_results(results, out, matrix=matrix.name)
+        journal.clear()
         print(f"\nwrote {len(results)} scenario results to {path}")
         return 0
 
@@ -525,6 +613,10 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         if thermal_table:
             print()
             print(thermal_table)
+        faults_table = scenario_faults_table(results_a)
+        if faults_table:
+            print()
+            print(faults_table)
         return 0
 
     _, results_b = load_results(args.files[1])

@@ -1,0 +1,32 @@
+"""Seeded fault injection for resilience evaluation.
+
+Declarative :class:`FaultSpec` bundles (predictor / thermal-sensor / DVFS /
+event-stream fault models) plus the :class:`FaultInjector` runtime that
+threads them through the engines.  See :mod:`repro.faults.spec` for the
+model semantics and the zero-rate identity invariant.
+"""
+
+from repro.faults.injector import FaultInjector, SessionFaultState
+from repro.faults.spec import (
+    FAULT_PRESETS,
+    DvfsFaults,
+    EventStreamFaults,
+    FaultSpec,
+    PredictorFaults,
+    SensorFaults,
+    get_fault_preset,
+    list_fault_presets,
+)
+
+__all__ = [
+    "DvfsFaults",
+    "EventStreamFaults",
+    "FAULT_PRESETS",
+    "FaultInjector",
+    "FaultSpec",
+    "PredictorFaults",
+    "SensorFaults",
+    "SessionFaultState",
+    "get_fault_preset",
+    "list_fault_presets",
+]

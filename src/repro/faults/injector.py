@@ -1,0 +1,207 @@
+"""Deterministic per-session fault injection.
+
+A :class:`FaultInjector` is the runtime half of a
+:class:`~repro.faults.spec.FaultSpec`: a tiny picklable factory carried on
+:class:`~repro.runtime.engine.EngineConfig` that mints one
+:class:`SessionFaultState` per (trace, scheme) replay.  The state owns the
+session's RNG — seeded from :func:`repro.utils.stable_seed` over the spec
+seed plus the session identity — so the fault stream each replay sees is a
+pure function of *what* is being replayed, never of worker count, job
+order, or which other sessions share the sweep.
+
+The state is also the session's fault ledger.  Each injection site reports
+what it did (``flip_prediction``, ``note_dvfs_fault``, ``sense``,
+``transform``), and :meth:`SessionFaultState.finalize` folds the ledger
+against the per-event QoS outcomes into a
+:class:`~repro.runtime.metrics.FaultSessionStats`: a fault is *recovered*
+when the event it hit still met its deadline (for sensor faults: when the
+corrupted reading still mapped to the correct throttle cap).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.faults.spec import FaultSpec
+from repro.traces.trace import Trace, TraceEvent
+from repro.utils import stable_seed
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.hardware.thermal import ThermalModel
+    from repro.runtime.metrics import EventOutcome, FaultSessionStats
+
+
+@dataclass(frozen=True)
+class FaultInjector:
+    """Picklable factory binding a :class:`FaultSpec` to engine sessions."""
+
+    spec: FaultSpec
+
+    def session(self, trace: Trace, scheme: str) -> "SessionFaultState":
+        return SessionFaultState(self.spec, trace, scheme)
+
+
+class SessionFaultState:
+    """Mutable fault stream + ledger for one (trace, scheme) replay."""
+
+    def __init__(self, spec: FaultSpec, trace: Trace, scheme: str) -> None:
+        self.spec = spec
+        self._rng = random.Random(
+            stable_seed(
+                "faults",
+                spec.seed,
+                spec.name,
+                trace.app_name,
+                trace.user_id,
+                trace.seed,
+                scheme,
+            )
+        )
+        # Ledger: event indices (post-transform) each fault category hit.
+        self._flip_indices: set[int] = set()
+        self._dvfs_indices: set[int] = set()
+        self._dup_indices: set[int] = set()
+        self._jit_indices: set[int] = set()
+        self.events_dropped = 0
+        self.fault_energy_mj = 0.0
+        # Sensor channel state.
+        self.sensor_injected = 0
+        self.sensor_recovered = 0
+        self._sensor_stuck_at: float | None = None
+        self._sensor_history: deque[float] = deque(maxlen=spec.sensor.lag_readings + 1)
+
+    # -- event-stream faults ----------------------------------------------------
+
+    def transform(self, trace: Trace) -> Trace:
+        """Apply drop/jitter/duplicate faults, returning a valid trace.
+
+        Draw order per original event is fixed (drop, then jitter, then
+        duplicate) so adding one fault category to a spec never perturbs
+        another category's stream.  Zero-rate categories draw nothing at
+        all, which is what makes a zero-rate spec's RNG stream — and thus
+        the whole replay — identical to the category being absent.
+        """
+        faults = self.spec.events
+        if faults.is_null:
+            return trace
+        rng = self._rng
+        jitter_active = faults.jitter_rate > 0.0 and faults.jitter_ms > 0.0
+        # (arrival, original event, kind) triples; kind drives ledger tagging
+        # after the stable re-sort assigns final indices.
+        staged: list[tuple[float, TraceEvent, str]] = []
+        for event in trace.events:
+            if faults.drop_rate and rng.random() < faults.drop_rate:
+                self.events_dropped += 1
+                continue
+            arrival = event.arrival_ms
+            kind = "kept"
+            if jitter_active and rng.random() < faults.jitter_rate:
+                arrival = max(0.0, arrival + rng.uniform(-faults.jitter_ms, faults.jitter_ms))
+                kind = "jittered"
+            staged.append((arrival, event, kind))
+            if faults.duplicate_rate and rng.random() < faults.duplicate_rate:
+                staged.append((arrival, event, "duplicate"))
+        staged.sort(key=lambda item: item[0])  # stable: ties keep draw order
+        rebuilt: list[TraceEvent] = []
+        for position, (arrival, event, kind) in enumerate(staged):
+            if kind == "duplicate":
+                self._dup_indices.add(position)
+            elif kind == "jittered":
+                self._jit_indices.add(position)
+            rebuilt.append(
+                TraceEvent(
+                    index=position,
+                    event_type=event.event_type,
+                    node_id=event.node_id,
+                    arrival_ms=arrival,
+                    workload=event.workload,
+                    navigates=event.navigates,
+                )
+            )
+        return Trace(trace.app_name, trace.user_id, rebuilt, seed=trace.seed)
+
+    # -- predictor faults -------------------------------------------------------
+
+    def flip_prediction(self, event_index: int) -> bool:
+        """Whether to force this validated MATCH into a misprediction."""
+        rate = self.spec.predictor.flip_rate
+        if rate and self._rng.random() < rate:
+            self._flip_indices.add(event_index)
+            return True
+        return False
+
+    def note_fault_energy(self, energy_mj: float) -> None:
+        """Charge energy wasted as a direct consequence of an injected fault."""
+        self.fault_energy_mj += energy_mj
+
+    # -- DVFS transition faults -------------------------------------------------
+
+    def dvfs_transition_fails(self) -> bool:
+        """Whether the configuration transition being attempted fails."""
+        rate = self.spec.dvfs.fail_rate
+        return bool(rate) and self._rng.random() < rate
+
+    def note_dvfs_fault(self, event_index: int, penalty_mj: float) -> None:
+        self._dvfs_indices.add(event_index)
+        self.fault_energy_mj += penalty_mj
+
+    # -- thermal sensor faults --------------------------------------------------
+
+    def sense(self, true_c: float, model: "ThermalModel") -> float:
+        """The temperature the throttle governor sees for this reading.
+
+        Recovery is judged per reading: a corrupted reading that still maps
+        to the true reading's throttle cap did not change behaviour.
+        """
+        faults = self.spec.sensor
+        if faults.is_null:
+            return true_c
+        if self._sensor_stuck_at is not None:
+            sensed = self._sensor_stuck_at
+        else:
+            self._sensor_history.append(true_c)
+            sensed = self._sensor_history[0]  # oldest retained = lagged reading
+            if faults.noise_c:
+                sensed += self._rng.gauss(0.0, faults.noise_c)
+            if faults.stuck_rate and self._rng.random() < faults.stuck_rate:
+                self._sensor_stuck_at = sensed
+        if sensed != true_c:
+            self.sensor_injected += 1
+            if model.cap_mhz(sensed) == model.cap_mhz(true_c):
+                self.sensor_recovered += 1
+        return sensed
+
+    # -- session summary --------------------------------------------------------
+
+    def finalize(self, outcomes: Iterable["EventOutcome"]) -> "FaultSessionStats":
+        """Fold the ledger against QoS outcomes into per-session stats.
+
+        An event-anchored fault is *recovered* when the event it hit still
+        met its deadline.  Dropped events have no outcome and never
+        recover.  Sensor faults carry their own per-reading recovery
+        judgement from :meth:`sense`.
+        """
+        from repro.runtime.metrics import FaultSessionStats
+
+        met_deadline = {o.index for o in outcomes if not o.violated}
+
+        def recovered(indices: set[int]) -> int:
+            return len(indices & met_deadline)
+
+        stream_injected_indices = self._dup_indices | self._jit_indices
+        return FaultSessionStats(
+            predictor_injected=len(self._flip_indices),
+            predictor_recovered=recovered(self._flip_indices),
+            dvfs_injected=len(self._dvfs_indices),
+            dvfs_recovered=recovered(self._dvfs_indices),
+            sensor_injected=self.sensor_injected,
+            sensor_recovered=self.sensor_recovered,
+            events_dropped=self.events_dropped,
+            events_duplicated=len(self._dup_indices),
+            events_jittered=len(self._jit_indices),
+            stream_recovered=recovered(stream_injected_indices),
+            fault_energy_mj=self.fault_energy_mj,
+        )

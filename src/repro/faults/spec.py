@@ -1,0 +1,300 @@
+"""Declarative fault specifications for resilience evaluation.
+
+The paper's most honest figure (Fig. 10, misprediction waste) already asks
+"what does being wrong cost?" — but a trained predictor can only be wrong
+in the one way it happens to be wrong.  A :class:`FaultSpec` makes
+wrongness a *swept axis*: a named, JSON-round-tripping bundle of seeded
+fault models that the scenario machinery cross-products like any other
+axis (``ScenarioMatrix.fault_specs``, ``scenarios run --faults``).
+
+Four fault models, one per seam the engines expose:
+
+* :class:`PredictorFaults` — flip validated MATCH verdicts to
+  mispredictions at a configurable rate, stressing PES's EBS-fallback
+  recovery path beyond the trained accuracy,
+* :class:`SensorFaults` — stuck/lagged/noisy temperature readings feeding
+  the dynamic throttle governor (``thermal_mode="dynamic"``), so the cap
+  the scheduler plans against diverges from the true package temperature,
+* :class:`DvfsFaults` — a requested frequency/cluster transition fails:
+  the hardware keeps the prior configuration and the attempted switch
+  latency is charged as pure penalty,
+* :class:`EventStreamFaults` — dropped/duplicated/jittered events in the
+  session replay itself.
+
+Everything is data: validation happens at construction (mirroring
+:class:`~repro.scenarios.spec.ScenarioSpec`), rates are probabilities in
+``[0, 1]``, and ``to_dict``/``from_dict`` round-trip losslessly through
+the JSON artefacts.  The identity invariant the whole subsystem is pinned
+on: a spec whose every rate and magnitude is zero (``is_null``) injects
+*nothing* — :meth:`repro.runtime.simulator.SimulationSetup.engine_config`
+maps it to no injector at all, so zero-rate and absent specs are
+bit-identical to the fault-free path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _check_rate(owner: str, name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{owner}.{name} must be a probability in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class PredictorFaults:
+    """Force validated predictions wrong at a configurable rate.
+
+    ``flip_rate`` is the per-event probability that a prediction the
+    control unit *would* have matched is treated as a misprediction
+    instead: the speculative round is squashed (its truncated work charged
+    as waste), the consecutive-miss counter advances — so a high flip rate
+    also exercises prediction *disabling* — and the event runs through the
+    EBS fallback.
+    """
+
+    flip_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_rate("predictor", "flip_rate", self.flip_rate)
+
+    @property
+    def is_null(self) -> bool:
+        return self.flip_rate == 0.0
+
+
+@dataclass(frozen=True)
+class SensorFaults:
+    """Corrupt the temperature readings the dynamic throttle governor sees.
+
+    Applied per thermal-state advancement (each idle gap and active
+    interval produces one reading): ``lag_readings`` reports the true
+    temperature from that many updates ago, ``noise_c`` adds Gaussian
+    noise (standard deviation in °C), and ``stuck_rate`` is the
+    per-reading probability that the sensor latches its current (already
+    lagged/noisy) value *permanently* for the rest of the session.  The
+    true physics are untouched — only the cap the scheduler plans against
+    is derived from the faulted reading.  Inert outside
+    ``thermal_mode="dynamic"`` (there is no live sensor to corrupt).
+    """
+
+    stuck_rate: float = 0.0
+    lag_readings: int = 0
+    noise_c: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_rate("sensor", "stuck_rate", self.stuck_rate)
+        if self.lag_readings < 0:
+            raise ValueError(f"sensor.lag_readings must be non-negative, got {self.lag_readings}")
+        if self.noise_c < 0.0:
+            raise ValueError(f"sensor.noise_c must be non-negative, got {self.noise_c}")
+
+    @property
+    def is_null(self) -> bool:
+        return self.stuck_rate == 0.0 and self.lag_readings == 0 and self.noise_c == 0.0
+
+
+@dataclass(frozen=True)
+class DvfsFaults:
+    """Requested configuration transitions fail at a configurable rate.
+
+    ``fail_rate`` is the per-attempt probability (drawn only when an event
+    actually requests a configuration different from the current one) that
+    the transition does not land: the event executes entirely at the prior
+    configuration while the attempted switch latency is still charged — as
+    time *and* as energy at the prior configuration's power — modelling a
+    DVFS write that is rejected after the voltage ramp already started.
+    """
+
+    fail_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_rate("dvfs", "fail_rate", self.fail_rate)
+
+    @property
+    def is_null(self) -> bool:
+        return self.fail_rate == 0.0
+
+
+@dataclass(frozen=True)
+class EventStreamFaults:
+    """Perturb the replayed event stream itself.
+
+    Per original event, in draw order: ``drop_rate`` removes the event
+    entirely (an input the system never saw), ``jitter_rate`` shifts its
+    arrival by a uniform offset in ``[-jitter_ms, +jitter_ms]`` (clamped
+    at zero), and ``duplicate_rate`` appends a second copy at the same
+    arrival (a bounced input).  The transformed stream is re-sorted and
+    re-indexed, so it is a valid trace by construction.
+    """
+
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    jitter_rate: float = 0.0
+    jitter_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_rate("events", "drop_rate", self.drop_rate)
+        _check_rate("events", "duplicate_rate", self.duplicate_rate)
+        _check_rate("events", "jitter_rate", self.jitter_rate)
+        if self.jitter_ms < 0.0:
+            raise ValueError(f"events.jitter_ms must be non-negative, got {self.jitter_ms}")
+
+    @property
+    def is_null(self) -> bool:
+        # jitter needs both a rate and a magnitude to do anything.
+        return (
+            self.drop_rate == 0.0
+            and self.duplicate_rate == 0.0
+            and (self.jitter_rate == 0.0 or self.jitter_ms == 0.0)
+        )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A named, seeded bundle of fault models — one resilience condition.
+
+    ``seed`` feeds :func:`repro.utils.stable_seed` together with each
+    session's identity (app, user, trace seed, scheme), so every replay
+    draws its own deterministic fault stream: results are bit-identical
+    for any worker count and independent of which other sessions run in
+    the same sweep.
+    """
+
+    name: str = "faults"
+    seed: int = 0
+    predictor: PredictorFaults = field(default_factory=PredictorFaults)
+    sensor: SensorFaults = field(default_factory=SensorFaults)
+    dvfs: DvfsFaults = field(default_factory=DvfsFaults)
+    events: EventStreamFaults = field(default_factory=EventStreamFaults)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a fault spec needs a name")
+
+    @property
+    def is_null(self) -> bool:
+        """True when no model can ever inject anything (zero-rate spec).
+
+        The simulation layer maps a null spec to *no injector at all*, so a
+        zero-rate spec is bit-identical to running without one — the
+        subsystem's pinned identity invariant.
+        """
+        return (
+            self.predictor.is_null
+            and self.sensor.is_null
+            and self.dvfs.is_null
+            and self.events.is_null
+        )
+
+    # -- serialisation ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "predictor": {"flip_rate": self.predictor.flip_rate},
+            "sensor": {
+                "stuck_rate": self.sensor.stuck_rate,
+                "lag_readings": self.sensor.lag_readings,
+                "noise_c": self.sensor.noise_c,
+            },
+            "dvfs": {"fail_rate": self.dvfs.fail_rate},
+            "events": {
+                "drop_rate": self.events.drop_rate,
+                "duplicate_rate": self.events.duplicate_rate,
+                "jitter_rate": self.events.jitter_rate,
+                "jitter_ms": self.events.jitter_ms,
+            },
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultSpec":
+        predictor = payload.get("predictor", {})
+        sensor = payload.get("sensor", {})
+        dvfs = payload.get("dvfs", {})
+        events = payload.get("events", {})
+        return cls(
+            name=payload.get("name", "faults"),
+            seed=int(payload.get("seed", 0)),
+            predictor=PredictorFaults(flip_rate=float(predictor.get("flip_rate", 0.0))),
+            sensor=SensorFaults(
+                stuck_rate=float(sensor.get("stuck_rate", 0.0)),
+                lag_readings=int(sensor.get("lag_readings", 0)),
+                noise_c=float(sensor.get("noise_c", 0.0)),
+            ),
+            dvfs=DvfsFaults(fail_rate=float(dvfs.get("fail_rate", 0.0))),
+            events=EventStreamFaults(
+                drop_rate=float(events.get("drop_rate", 0.0)),
+                duplicate_rate=float(events.get("duplicate_rate", 0.0)),
+                jitter_rate=float(events.get("jitter_rate", 0.0)),
+                jitter_ms=float(events.get("jitter_ms", 0.0)),
+            ),
+            description=payload.get("description", ""),
+        )
+
+
+def _builtin_presets() -> dict[str, FaultSpec]:
+    return {
+        "predictor_flaky": FaultSpec(
+            name="predictor_flaky",
+            predictor=PredictorFaults(flip_rate=0.2),
+            description="20% of validated predictions forced wrong: stresses the "
+            "EBS fallback and the consecutive-miss disable path",
+        ),
+        "sensor_stuck": FaultSpec(
+            name="sensor_stuck",
+            sensor=SensorFaults(stuck_rate=0.05),
+            description="thermal sensor latches permanently with 5% probability "
+            "per reading (dynamic thermal mode only)",
+        ),
+        "sensor_noisy": FaultSpec(
+            name="sensor_noisy",
+            sensor=SensorFaults(noise_c=4.0, lag_readings=2),
+            description="lagged, noisy thermal telemetry: readings trail two "
+            "updates behind with 4 C Gaussian noise",
+        ),
+        "dvfs_flaky": FaultSpec(
+            name="dvfs_flaky",
+            dvfs=DvfsFaults(fail_rate=0.15),
+            description="15% of requested configuration transitions fail; the "
+            "attempted switch is charged as pure penalty",
+        ),
+        "lossy_events": FaultSpec(
+            name="lossy_events",
+            events=EventStreamFaults(
+                drop_rate=0.05, duplicate_rate=0.05, jitter_rate=0.2, jitter_ms=40.0
+            ),
+            description="lossy input stream: 5% drops, 5% duplicates, 20% of "
+            "arrivals jittered by up to 40 ms",
+        ),
+        "chaos": FaultSpec(
+            name="chaos",
+            predictor=PredictorFaults(flip_rate=0.1),
+            sensor=SensorFaults(stuck_rate=0.02, noise_c=2.0),
+            dvfs=DvfsFaults(fail_rate=0.1),
+            events=EventStreamFaults(
+                drop_rate=0.02, duplicate_rate=0.02, jitter_rate=0.1, jitter_ms=25.0
+            ),
+            description="every fault model at once, at moderate rates",
+        ),
+    }
+
+
+#: Named fault conditions usable from the CLI (``--faults``) and matrices.
+FAULT_PRESETS: dict[str, FaultSpec] = _builtin_presets()
+
+
+def list_fault_presets() -> list[str]:
+    return sorted(FAULT_PRESETS)
+
+
+def get_fault_preset(name: str) -> FaultSpec:
+    try:
+        return FAULT_PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault preset {name!r}; available: {', '.join(list_fault_presets())}"
+        ) from None

@@ -40,6 +40,7 @@ from repro.core.optimizer.ilp import DynamicProgrammingSolver
 from repro.core.optimizer.schedule import Assignment, EventSpec
 from repro.core.pes import PesScheduler
 from repro.core.predictor.sequence_learner import PredictedEvent
+from repro.faults import FaultInjector, SessionFaultState
 from repro.hardware.acmp import AcmpConfig, AcmpSystem
 from repro.hardware.dvfs import DvfsModel
 from repro.hardware.energy import SwitchingCosts
@@ -70,6 +71,12 @@ class EngineConfig:
     scheduler plans the *next* event over.  ``None`` (the default) keeps the
     pre-thermal behaviour bit-for-bit: the platform in ``system`` is taken
     as-is, whether unconstrained or already statically throttled.
+
+    ``faults`` enables seeded fault injection (:mod:`repro.faults`): each
+    session replay opens its own deterministic
+    :class:`~repro.faults.injector.SessionFaultState` and the engines draw
+    predictor/sensor/DVFS/event-stream faults from it.  ``None`` (the
+    default) keeps every code path bit-identical to the fault-free engine.
     """
 
     system: AcmpSystem
@@ -77,6 +84,7 @@ class EngineConfig:
     pipeline: RenderingPipeline = field(default_factory=RenderingPipeline)
     switching: SwitchingCosts = field(default_factory=SwitchingCosts)
     thermal: ThermalModel | None = None
+    faults: FaultInjector | None = None
 
 
 @dataclass(frozen=True)
@@ -141,6 +149,57 @@ def _session_idle_energy(
     return idle_ms * config.power_table.idle_w
 
 
+def _requested_transition(
+    plan: ExecutionPlan, previous_config: AcmpConfig | None
+) -> AcmpConfig | None:
+    """The first configuration the plan switches to, ``None`` if it stays put."""
+    if previous_config is None:
+        return None
+    for phase in plan.phases:
+        if phase.config != previous_config:
+            return phase.config
+    return None
+
+
+def _execute_with_faults(
+    config: EngineConfig,
+    plan: ExecutionPlan,
+    workload: DvfsModel,
+    start_ms: float,
+    previous_config: AcmpConfig | None,
+    faults: SessionFaultState | None,
+    event_index: int,
+) -> ExecutionResult:
+    """:func:`execute_plan`, with the DVFS-transition fault model applied.
+
+    A fault draw happens only when the plan actually requests a switch away
+    from the current configuration.  On a failed transition the event runs
+    entirely at the prior configuration, but the attempted switch latency is
+    still paid — as time and as energy at the prior configuration's power —
+    before the work starts.
+    """
+    if faults is not None:
+        requested = _requested_transition(plan, previous_config)
+        if requested is not None and faults.dvfs_transition_fails():
+            penalty_ms = config.switching.switch_latency_ms(previous_config, requested)
+            penalty_mj = penalty_ms * config.power_table.power_w(previous_config)
+            faults.note_dvfs_fault(event_index, penalty_mj)
+            held = execute_plan(
+                config,
+                ExecutionPlan.single(previous_config),
+                workload,
+                start_ms + penalty_ms,
+                previous_config,
+            )
+            return ExecutionResult(
+                finish_ms=held.finish_ms,
+                cpu_time_ms=held.cpu_time_ms + penalty_ms,
+                active_energy_mj=held.active_energy_mj + penalty_mj,
+                final_config=held.final_config,
+            )
+    return execute_plan(config, plan, workload, start_ms, previous_config)
+
+
 class _SessionThermal:
     """Live thermal state for one session replay (dynamic thermal mode).
 
@@ -158,9 +217,16 @@ class _SessionThermal:
     the same cap the scheduler planned against — which keeps the residency
     metric deterministic and independent of how the timeline is sliced into
     engine-internal segments.
+
+    Under sensor faults (``faults`` with an active sensor model), the true
+    physics are untouched — the package heats and cools exactly as before —
+    but the cap the engines plan against is derived from the *sensed*
+    temperature, refreshed once per advanced interval.  Peak temperature and
+    throttled-time telemetry stay true-physics (throttled-time counts the
+    governor's actual, possibly-wrong behaviour via the sensed cap).
     """
 
-    def __init__(self, config: EngineConfig) -> None:
+    def __init__(self, config: EngineConfig, faults: SessionFaultState | None = None) -> None:
         assert config.thermal is not None
         self._base_system = config.system
         self._idle_w = config.power_table.idle_w
@@ -175,17 +241,29 @@ class _SessionThermal:
         self._unthrottled_events = 0
         self._throttled_latency_ms = 0.0
         self._unthrottled_latency_ms = 0.0
+        self._faults = faults if faults is not None and not faults.spec.sensor.is_null else None
+        self._sensed_c = self.state.temperature_c
 
     # -- instantaneous capability ------------------------------------------------
+
+    def _cap_now(self) -> int:
+        """The cap the throttle governor enforces right now.
+
+        Identical to the true cap unless a sensor fault model is active, in
+        which case the governor derives it from the corrupted reading.
+        """
+        if self._faults is None:
+            return self.state.cap_mhz
+        return self.state.model.cap_mhz(self._sensed_c)
 
     @property
     def throttled_now(self) -> bool:
         """True when the current cap removes at least the top ladder rung."""
-        return self.state.cap_mhz < self._full_max_mhz
+        return self._cap_now() < self._full_max_mhz
 
     def system_now(self) -> AcmpSystem:
         """The platform as the scheduler must see it at the current instant."""
-        cap = self.state.cap_mhz
+        cap = self._cap_now()
         if cap >= self._full_max_mhz:
             return self._base_system
         return capped_system(self._base_system, cap)
@@ -201,6 +279,8 @@ class _SessionThermal:
         temperature = self.state.advance(power_w, dt_ms / 1000.0)
         if temperature > self.peak_c:
             self.peak_c = temperature
+        if self._faults is not None:
+            self._sensed_c = self._faults.sense(temperature, self.state.model)
         self.clock_ms = until_ms
 
     def idle_to(self, until_ms: float) -> None:
@@ -243,11 +323,20 @@ class ReactiveEngine:
 
     def run(self, trace: Trace, scheduler: ReactiveScheduler) -> SessionResult:
         scheduler.reset()
+        faults = (
+            self.config.faults.session(trace, scheduler.name)
+            if self.config.faults is not None
+            else None
+        )
+        if faults is not None:
+            trace = faults.transform(trace)
         outcomes: list[EventOutcome] = []
         busy_until = 0.0
         busy_time = 0.0
         previous_config: AcmpConfig | None = None
-        thermal = _SessionThermal(self.config) if self.config.thermal is not None else None
+        thermal = (
+            _SessionThermal(self.config, faults) if self.config.thermal is not None else None
+        )
 
         for event in trace:
             start = max(event.arrival_ms, busy_until)
@@ -269,7 +358,9 @@ class ReactiveEngine:
                 idle_before_ms=idle_before,
             )
             plan = scheduler.plan(ctx)
-            execution = execute_plan(self.config, plan, event.workload, start, previous_config)
+            execution = _execute_with_faults(
+                self.config, plan, event.workload, start, previous_config, faults, event.index
+            )
             display = self.config.pipeline.next_vsync_ms(execution.finish_ms)
             outcome = EventOutcome(
                 index=event.index,
@@ -307,6 +398,7 @@ class ReactiveEngine:
             idle_energy_mj=_session_idle_energy(self.config, duration, busy_time),
             duration_ms=duration,
             thermal=thermal.finalize(duration) if thermal is not None else None,
+            faults=faults.finalize(outcomes) if faults is not None else None,
         )
 
 
@@ -318,6 +410,13 @@ class ProactiveEngine:
 
     def run(self, trace: Trace, pes: PesScheduler) -> SessionResult:
         pes.reset()
+        faults = (
+            self.config.faults.session(trace, pes.name)
+            if self.config.faults is not None
+            else None
+        )
+        if faults is not None:
+            trace = faults.transform(trace)
         outcomes: list[EventOutcome] = []
         busy_until = 0.0
         busy_time = 0.0
@@ -327,7 +426,9 @@ class ProactiveEngine:
         # (prediction, planned assignment) pairs for the current round, in order.
         pending: deque[tuple[PredictedEvent, Assignment]] = deque()
         spec_cursor = 0.0  # earliest time the next speculative execution can start
-        thermal = _SessionThermal(self.config) if self.config.thermal is not None else None
+        thermal = (
+            _SessionThermal(self.config, faults) if self.config.thermal is not None else None
+        )
         # Whether the cap was engaged when the current round's schedule was
         # solved — committed frames inherit the round's planning conditions.
         round_throttled = False
@@ -336,11 +437,32 @@ class ProactiveEngine:
             arrival = event.arrival_ms
             self._push_ready_frames(pes, pending, arrival)
             verdict = pes.validate_event(event.event_type)
+            injected_flip = False
+            if (
+                faults is not None
+                and verdict is MatchResult.MATCH
+                and pending
+                and faults.flip_prediction(event.index)
+            ):
+                # Forced misprediction: the frame that would have committed is
+                # squashed through the real recovery machinery below.
+                injected_flip = True
+                verdict = MatchResult.MISPREDICT
 
             if verdict is MatchResult.MATCH and pending:
                 _, assignment = pending.popleft()
                 chosen = assignment.option.config
                 switch = self.config.switching.switch_latency_ms(previous_config, chosen)
+                if (
+                    faults is not None
+                    and previous_config is not None
+                    and chosen != previous_config
+                    and faults.dvfs_transition_fails()
+                ):
+                    faults.note_dvfs_fault(
+                        event.index, switch * self.config.power_table.power_w(previous_config)
+                    )
+                    chosen = previous_config
                 duration = switch + event.workload.latency_ms(self.config.system, chosen)
                 spec_start = max(spec_cursor, busy_until)
                 finish = spec_start + duration
@@ -373,6 +495,7 @@ class ProactiveEngine:
                 # Account the speculative work performed for the (wrong)
                 # predictions, truncated at the moment the actual event
                 # arrives and the control unit squashes.
+                waste_before = wasted_energy
                 waste_clock = max(spec_cursor, busy_until)
                 waste_config = previous_config
                 for _, assignment in pending:
@@ -396,10 +519,20 @@ class ProactiveEngine:
                 previous_config = waste_config
                 pending.clear()
                 pes.on_mispredict(arrival)
+                if injected_flip:
+                    # The squashed speculative work only went to waste because
+                    # of the injected flip; charge it to the fault ledger.
+                    faults.note_fault_energy(wasted_energy - waste_before)
 
                 start = max(arrival, busy_until)
                 execution, outcome = self._reactive_execute(
-                    pes, event, start, previous_config, mispredicted=True, thermal=thermal
+                    pes,
+                    event,
+                    start,
+                    previous_config,
+                    mispredicted=True,
+                    thermal=thermal,
+                    faults=faults,
                 )
                 outcomes.append(outcome)
                 busy_until = execution.finish_ms
@@ -410,7 +543,13 @@ class ProactiveEngine:
             else:  # NO_PREDICTION: prediction disabled or nothing pending yet
                 start = max(arrival, busy_until)
                 execution, outcome = self._reactive_execute(
-                    pes, event, start, previous_config, mispredicted=False, thermal=thermal
+                    pes,
+                    event,
+                    start,
+                    previous_config,
+                    mispredicted=False,
+                    thermal=thermal,
+                    faults=faults,
                 )
                 outcomes.append(outcome)
                 busy_until = execution.finish_ms
@@ -451,6 +590,7 @@ class ProactiveEngine:
             pfb_size_history=list(pes.control.pfb.size_history),
             duration_ms=duration,
             thermal=thermal.finalize(duration) if thermal is not None else None,
+            faults=faults.finalize(outcomes) if faults is not None else None,
         )
 
     # -- helpers -----------------------------------------------------------------
@@ -490,6 +630,7 @@ class ProactiveEngine:
         *,
         mispredicted: bool,
         thermal: _SessionThermal | None = None,
+        faults: SessionFaultState | None = None,
     ) -> tuple[ExecutionResult, EventOutcome]:
         if thermal is not None:
             thermal.idle_to(start_ms)
@@ -506,7 +647,9 @@ class ProactiveEngine:
             idle_before_ms=0.0,
         )
         plan = pes.fallback.plan(ctx)
-        execution = execute_plan(self.config, plan, event.workload, start_ms, previous_config)
+        execution = _execute_with_faults(
+            self.config, plan, event.workload, start_ms, previous_config, faults, event.index
+        )
         display = self.config.pipeline.next_vsync_ms(execution.finish_ms)
         outcome = EventOutcome(
             index=event.index,
@@ -563,6 +706,13 @@ class OracleEngine:
         oracle = oracle or OracleScheduler()
         solver = DynamicProgrammingSolver(bucket_ms=self.dp_bucket_ms)
 
+        faults = (
+            self.config.faults.session(trace, oracle.name)
+            if self.config.faults is not None
+            else None
+        )
+        if faults is not None:
+            trace = faults.transform(trace)
         events = list(trace)
         outcomes: list[EventOutcome] = []
         busy_time = 0.0
@@ -573,7 +723,9 @@ class OracleEngine:
             oracle.lookahead_events or self.default_lookahead_events or len(events) or 1
         )
 
-        thermal = _SessionThermal(self.config) if self.config.thermal is not None else None
+        thermal = (
+            _SessionThermal(self.config, faults) if self.config.thermal is not None else None
+        )
 
         while index < len(events):
             chunk = events[index : index + chunk_size]
@@ -604,6 +756,16 @@ class OracleEngine:
             for event, assignment in zip(chunk, schedule.assignments):
                 chosen = assignment.option.config
                 switch = self.config.switching.switch_latency_ms(previous_config, chosen)
+                if (
+                    faults is not None
+                    and previous_config is not None
+                    and chosen != previous_config
+                    and faults.dvfs_transition_fails()
+                ):
+                    faults.note_dvfs_fault(
+                        event.index, switch * self.config.power_table.power_w(previous_config)
+                    )
+                    chosen = previous_config
                 start = max(clock, assignment.start_ms)
                 finish = start + switch + event.workload.latency_ms(self.config.system, chosen)
                 power = self.config.power_table.power_w(chosen)
@@ -638,4 +800,5 @@ class OracleEngine:
             idle_energy_mj=_session_idle_energy(self.config, duration, busy_time),
             duration_ms=duration,
             thermal=thermal.finalize(duration) if thermal is not None else None,
+            faults=faults.finalize(outcomes) if faults is not None else None,
         )

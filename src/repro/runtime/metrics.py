@@ -138,6 +138,138 @@ class ThermalAggregate:
         )
 
 
+@dataclass(frozen=True)
+class FaultSessionStats:
+    """Per-session fault ledger from a replay with injection enabled.
+
+    Only produced when the engine carries a live
+    :class:`~repro.faults.injector.SessionFaultState`; fault-free replays
+    leave ``SessionResult.faults`` as ``None``.  Counts are raw (injected
+    and recovered per fault category) so aggregation over many sessions is
+    exact.  *Recovered* means the fault demonstrably did not break QoS: the
+    event it hit still met its deadline, or — for sensor faults — the
+    corrupted reading still mapped to the true throttle cap.
+    """
+
+    predictor_injected: int = 0
+    predictor_recovered: int = 0
+    dvfs_injected: int = 0
+    dvfs_recovered: int = 0
+    sensor_injected: int = 0
+    sensor_recovered: int = 0
+    events_dropped: int = 0
+    events_duplicated: int = 0
+    events_jittered: int = 0
+    stream_recovered: int = 0
+    #: Energy directly attributable to injected faults: speculative work
+    #: squashed by a forced flip plus failed-transition switch penalties.
+    fault_energy_mj: float = 0.0
+
+    @property
+    def injected(self) -> int:
+        """Total faults injected across categories (dropped events included)."""
+        return (
+            self.predictor_injected
+            + self.dvfs_injected
+            + self.sensor_injected
+            + self.events_dropped
+            + self.events_duplicated
+            + self.events_jittered
+        )
+
+    @property
+    def recovered(self) -> int:
+        return (
+            self.predictor_recovered
+            + self.dvfs_recovered
+            + self.sensor_recovered
+            + self.stream_recovered
+        )
+
+
+@dataclass(frozen=True)
+class FaultAggregate:
+    """Fault/resilience metrics folded over the sessions that carried them."""
+
+    n_sessions: int
+    predictor_injected: int
+    predictor_recovered: int
+    dvfs_injected: int
+    dvfs_recovered: int
+    sensor_injected: int
+    sensor_recovered: int
+    events_dropped: int
+    events_duplicated: int
+    events_jittered: int
+    stream_recovered: int
+    fault_energy_mj: float
+    #: Fraction of total energy directly attributable to injected faults,
+    #: expressed against the fault-free remainder (energy inflation).
+    energy_inflation: float
+
+    @property
+    def injected(self) -> int:
+        return (
+            self.predictor_injected
+            + self.dvfs_injected
+            + self.sensor_injected
+            + self.events_dropped
+            + self.events_duplicated
+            + self.events_jittered
+        )
+
+    @property
+    def recovered(self) -> int:
+        return (
+            self.predictor_recovered
+            + self.dvfs_recovered
+            + self.sensor_recovered
+            + self.stream_recovered
+        )
+
+    @property
+    def recovery_rate(self) -> float:
+        """Recovered over injected, dropped events counting as unrecoverable."""
+        if self.injected == 0:
+            return 0.0
+        return self.recovered / self.injected
+
+    def to_dict(self) -> dict:
+        return {
+            "n_sessions": self.n_sessions,
+            "predictor_injected": self.predictor_injected,
+            "predictor_recovered": self.predictor_recovered,
+            "dvfs_injected": self.dvfs_injected,
+            "dvfs_recovered": self.dvfs_recovered,
+            "sensor_injected": self.sensor_injected,
+            "sensor_recovered": self.sensor_recovered,
+            "events_dropped": self.events_dropped,
+            "events_duplicated": self.events_duplicated,
+            "events_jittered": self.events_jittered,
+            "stream_recovered": self.stream_recovered,
+            "fault_energy_mj": self.fault_energy_mj,
+            "energy_inflation": self.energy_inflation,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultAggregate":
+        return cls(
+            n_sessions=int(payload["n_sessions"]),
+            predictor_injected=int(payload["predictor_injected"]),
+            predictor_recovered=int(payload["predictor_recovered"]),
+            dvfs_injected=int(payload["dvfs_injected"]),
+            dvfs_recovered=int(payload["dvfs_recovered"]),
+            sensor_injected=int(payload["sensor_injected"]),
+            sensor_recovered=int(payload["sensor_recovered"]),
+            events_dropped=int(payload["events_dropped"]),
+            events_duplicated=int(payload["events_duplicated"]),
+            events_jittered=int(payload["events_jittered"]),
+            stream_recovered=int(payload["stream_recovered"]),
+            fault_energy_mj=float(payload["fault_energy_mj"]),
+            energy_inflation=float(payload["energy_inflation"]),
+        )
+
+
 @dataclass
 class SessionResult:
     """Result of replaying one trace under one scheduler."""
@@ -156,6 +288,8 @@ class SessionResult:
     duration_ms: float = 0.0
     #: Thermal telemetry when the replay tracked live thermal state.
     thermal: ThermalSessionStats | None = None
+    #: Fault ledger when the replay ran with injection enabled.
+    faults: FaultSessionStats | None = None
 
     # -- energy ------------------------------------------------------------------
 
@@ -275,6 +409,20 @@ class StreamingAggregator:
     thermal_unthrottled_events: int = 0
     thermal_throttled_latency_ms: float = 0.0
     thermal_unthrottled_latency_ms: float = 0.0
+    # Fault accumulators; only sessions carrying FaultSessionStats fold into
+    # these, so mixed faulted/fault-free sweeps aggregate each cleanly.
+    fault_sessions: int = 0
+    fault_predictor_injected: int = 0
+    fault_predictor_recovered: int = 0
+    fault_dvfs_injected: int = 0
+    fault_dvfs_recovered: int = 0
+    fault_sensor_injected: int = 0
+    fault_sensor_recovered: int = 0
+    fault_events_dropped: int = 0
+    fault_events_duplicated: int = 0
+    fault_events_jittered: int = 0
+    fault_stream_recovered: int = 0
+    fault_energy_mj: float = 0.0
 
     def add(self, result: SessionResult) -> None:
         """Fold one session into the running totals."""
@@ -307,6 +455,20 @@ class StreamingAggregator:
             self.thermal_unthrottled_events += stats.unthrottled_events
             self.thermal_throttled_latency_ms += stats.throttled_latency_ms
             self.thermal_unthrottled_latency_ms += stats.unthrottled_latency_ms
+        if result.faults is not None:
+            faults = result.faults
+            self.fault_sessions += 1
+            self.fault_predictor_injected += faults.predictor_injected
+            self.fault_predictor_recovered += faults.predictor_recovered
+            self.fault_dvfs_injected += faults.dvfs_injected
+            self.fault_dvfs_recovered += faults.dvfs_recovered
+            self.fault_sensor_injected += faults.sensor_injected
+            self.fault_sensor_recovered += faults.sensor_recovered
+            self.fault_events_dropped += faults.events_dropped
+            self.fault_events_duplicated += faults.events_duplicated
+            self.fault_events_jittered += faults.events_jittered
+            self.fault_stream_recovered += faults.stream_recovered
+            self.fault_energy_mj += faults.fault_energy_mj
 
     def merge(self, other: "StreamingAggregator") -> None:
         """Fold another aggregator's totals into this one."""
@@ -338,6 +500,19 @@ class StreamingAggregator:
             self.thermal_unthrottled_events += other.thermal_unthrottled_events
             self.thermal_throttled_latency_ms += other.thermal_throttled_latency_ms
             self.thermal_unthrottled_latency_ms += other.thermal_unthrottled_latency_ms
+        if other.fault_sessions:
+            self.fault_sessions += other.fault_sessions
+            self.fault_predictor_injected += other.fault_predictor_injected
+            self.fault_predictor_recovered += other.fault_predictor_recovered
+            self.fault_dvfs_injected += other.fault_dvfs_injected
+            self.fault_dvfs_recovered += other.fault_dvfs_recovered
+            self.fault_sensor_injected += other.fault_sensor_injected
+            self.fault_sensor_recovered += other.fault_sensor_recovered
+            self.fault_events_dropped += other.fault_events_dropped
+            self.fault_events_duplicated += other.fault_events_duplicated
+            self.fault_events_jittered += other.fault_events_jittered
+            self.fault_stream_recovered += other.fault_stream_recovered
+            self.fault_energy_mj += other.fault_energy_mj
 
     def finalize_thermal(self) -> ThermalAggregate | None:
         """Thermal aggregate of the folded sessions, ``None`` when untracked."""
@@ -358,6 +533,33 @@ class StreamingAggregator:
                 self.thermal_unthrottled_events,
                 self.thermal_unthrottled_latency_ms,
             ),
+        )
+
+    def finalize_faults(self) -> FaultAggregate | None:
+        """Fault aggregate of the folded sessions, ``None`` when untracked.
+
+        ``energy_inflation`` compares fault-attributable energy to the
+        fault-free remainder, i.e. how much extra the injected faults cost
+        relative to the energy the same run would otherwise have spent.
+        """
+        if self.fault_sessions == 0:
+            return None
+        clean_energy = self.total_energy_mj - self.fault_energy_mj
+        inflation = self.fault_energy_mj / clean_energy if clean_energy > 0 else 0.0
+        return FaultAggregate(
+            n_sessions=self.fault_sessions,
+            predictor_injected=self.fault_predictor_injected,
+            predictor_recovered=self.fault_predictor_recovered,
+            dvfs_injected=self.fault_dvfs_injected,
+            dvfs_recovered=self.fault_dvfs_recovered,
+            sensor_injected=self.fault_sensor_injected,
+            sensor_recovered=self.fault_sensor_recovered,
+            events_dropped=self.fault_events_dropped,
+            events_duplicated=self.fault_events_duplicated,
+            events_jittered=self.fault_events_jittered,
+            stream_recovered=self.fault_stream_recovered,
+            fault_energy_mj=self.fault_energy_mj,
+            energy_inflation=inflation,
         )
 
     def finalize(self) -> AggregateMetrics:
@@ -421,6 +623,10 @@ class StreamingMatrixAggregator:
     def finalize_cell_thermal(self, key: str, scheme: str) -> ThermalAggregate | None:
         """Thermal aggregate of one cell (``None`` when its sessions carried none)."""
         return self.cells[(key, scheme)].overall.finalize_thermal()
+
+    def finalize_cell_faults(self, key: str, scheme: str) -> FaultAggregate | None:
+        """Fault aggregate of one cell (``None`` when its sessions carried none)."""
+        return self.cells[(key, scheme)].overall.finalize_faults()
 
 
 def aggregate_results(results: Iterable[SessionResult]) -> AggregateMetrics:

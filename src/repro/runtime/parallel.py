@@ -27,6 +27,14 @@ exploits.  :class:`ParallelEvaluator` fans those jobs out over a
   plain serial sweep.  Because every replay is deterministic, ``jobs>1``
   produces bit-identical ``SessionResult`` objects as well; only wall-clock
   changes.
+* **Graceful degradation** — a job that raises in a worker comes back as a
+  failure payload instead of poisoning the pool; after the pool is torn
+  down cleanly, failed (and, with ``job_timeout_s``, stalled) jobs are
+  re-run serially in the parent, so a transient worker crash degrades to
+  serial throughput rather than a lost sweep, while a deterministic bug
+  surfaces as the original exception from the serial re-run.  Set
+  ``retry_failed_jobs=False`` to get a :class:`WorkerJobError` (carrying
+  the worker traceback) instead of the retry.
 
 Running evaluations in parallel
 -------------------------------
@@ -47,13 +55,17 @@ scaling up to the physical core count and ~1x on single-core containers.
 
 from __future__ import annotations
 
+import multiprocessing
+import traceback as traceback_module
+import warnings
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.core.pes import PesConfig
 from repro.core.predictor.sequence_learner import EventSequenceLearner
 from repro.runtime.metrics import (
     AggregateMetrics,
+    FaultAggregate,
     SessionResult,
     StreamingMatrixAggregator,
     StreamingSweepAggregator,
@@ -70,8 +82,35 @@ __all__ = [
     "MatrixSweep",
     "ParallelEvaluator",
     "SchemeAggregates",
+    "WorkerJobError",
     "resolve_jobs",
 ]
+
+
+class WorkerJobError(RuntimeError):
+    """A parallel replay job failed in a worker and retries were disabled.
+
+    The message embeds the worker-side traceback, so the failure is
+    diagnosable even though the original exception object died with the
+    worker process.
+    """
+
+
+@dataclass(frozen=True)
+class _JobFailure:
+    """Picklable record of an exception raised inside a pool worker."""
+
+    error_type: str
+    message: str
+    traceback: str
+
+    @classmethod
+    def from_exception(cls, exc: BaseException) -> "_JobFailure":
+        return cls(
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback=traceback_module.format_exc(),
+        )
 
 
 @dataclass(frozen=True)
@@ -82,12 +121,14 @@ class SchemeAggregates:
     temperature, throttle residency, throttle slowdown) and is ``None``
     whenever the sweep's sessions did not track live thermal state —
     static-thermal and thermal-free runs keep their aggregate shape (and
-    serialised artefacts) unchanged.
+    serialised artefacts) unchanged.  ``faults`` likewise carries the folded
+    resilience metrics and is ``None`` for fault-free sweeps.
     """
 
     overall: AggregateMetrics
     per_app: dict[str, AggregateMetrics]
     thermal: ThermalAggregate | None = None
+    faults: FaultAggregate | None = None
 
 
 @dataclass
@@ -181,14 +222,29 @@ def _init_worker(
     )
 
 
-def _run_job(job: tuple[int, str, Trace]) -> tuple[int, SessionResult]:
-    """Replay one (scheme, trace) pair on the worker-local simulator."""
-    assert _WORKER is not None, "worker pool was not initialised"
+def _run_job(job: tuple[int, str, Trace]) -> tuple[int, SessionResult | _JobFailure]:
+    """Replay one (scheme, trace) pair on the worker-local simulator.
+
+    Exceptions come back as :class:`_JobFailure` payloads rather than
+    propagating through the pool: a raising job must not poison the shared
+    ``imap`` stream the rest of the sweep is still flowing through.
+    """
     index, scheme, trace = job
-    result = _WORKER.simulator.run_scheme(
-        [trace], scheme, learner=_WORKER.learner, pes_config=_WORKER.pes_config
-    )[0]
+    try:
+        assert _WORKER is not None, "worker pool was not initialised"
+        result = _WORKER.simulator.run_scheme(
+            [trace], scheme, learner=_WORKER.learner, pes_config=_WORKER.pes_config
+        )[0]
+    except Exception as exc:
+        return index, _JobFailure.from_exception(exc)
     return index, result
+
+
+def _run_job_chunk(
+    jobs: list[tuple[int, str, Trace]]
+) -> list[tuple[int, SessionResult | _JobFailure]]:
+    """Replay a chunk of jobs as one pool task (see :func:`_chunked`)."""
+    return [_run_job(job) for job in jobs]
 
 
 _MATRIX_WORKER: _MatrixWorkerContext | None = None
@@ -229,20 +285,63 @@ def _init_matrix_worker(
     )
 
 
-def _run_matrix_job(job: tuple[int, str, str, Trace]) -> tuple[int, SessionResult]:
+def _run_matrix_job(
+    job: tuple[int, str, str, Trace]
+) -> tuple[int, SessionResult | _JobFailure]:
     """Replay one (sweep, scheme, trace) job on the worker's per-key simulator."""
-    assert _MATRIX_WORKER is not None, "matrix worker pool was not initialised"
     index, key, scheme, trace = job
-    result = _MATRIX_WORKER.simulator(key).run_scheme(
-        [trace],
-        scheme,
-        learner=_MATRIX_WORKER.learner,
-        pes_config=_MATRIX_WORKER.pes_configs[key],
-    )[0]
+    try:
+        assert _MATRIX_WORKER is not None, "matrix worker pool was not initialised"
+        result = _MATRIX_WORKER.simulator(key).run_scheme(
+            [trace],
+            scheme,
+            learner=_MATRIX_WORKER.learner,
+            pes_config=_MATRIX_WORKER.pes_configs[key],
+        )[0]
+    except Exception as exc:
+        return index, _JobFailure.from_exception(exc)
     return index, result
 
 
+def _run_matrix_job_chunk(
+    jobs: list[tuple[int, str, str, Trace]]
+) -> list[tuple[int, SessionResult | _JobFailure]]:
+    """Replay a chunk of matrix jobs as one pool task (see :func:`_chunked`)."""
+    return [_run_matrix_job(job) for job in jobs]
+
+
+def _chunked(jobs: list, size: int) -> list[list]:
+    """Split the job list into parent-side chunks of at most ``size`` jobs.
+
+    Chunking happens here, not via ``imap_unordered``'s ``chunksize``: with
+    ``chunksize > 1`` CPython wraps the result stream in a plain generator,
+    which has no ``next(timeout)`` and so cannot carry the stall watchdog.
+    Submitting pre-chunked task lists with ``chunksize=1`` keeps the real
+    ``IMapUnorderedIterator`` (timeout-capable) while preserving the IPC
+    amortisation chunking is for.
+    """
+    return [jobs[start : start + size] for start in range(0, len(jobs), size)]
+
+
 # -- driver side --------------------------------------------------------------------
+
+
+def _finalize_sweep(
+    aggregator: StreamingMatrixAggregator, sweep: MatrixSweep
+) -> dict[str, SchemeAggregates]:
+    """Finalise one sweep's cells from the folded sums (pure, repeatable)."""
+    per_scheme: dict[str, SchemeAggregates] = {}
+    for scheme in sweep.schemes:
+        if (sweep.key, scheme) not in aggregator.cells:
+            continue
+        overall, per_app = aggregator.finalize_cell(sweep.key, scheme)
+        per_scheme[scheme] = SchemeAggregates(
+            overall=overall,
+            per_app=per_app,
+            thermal=aggregator.finalize_cell_thermal(sweep.key, scheme),
+            faults=aggregator.finalize_cell_faults(sweep.key, scheme),
+        )
+    return per_scheme
 
 
 @dataclass
@@ -255,6 +354,18 @@ class ParallelEvaluator:
     #: Jobs per pool task; ``None`` lets :func:`repro.utils.pool_chunk_size`
     #: pick one that gives each worker several chunks to steal.
     chunk_size: int | None = None
+    #: Stall watchdog: if no result arrives for this many seconds, the pool
+    #: is torn down and the undelivered jobs are re-run serially in the
+    #: parent.  ``None`` (the default) waits indefinitely.  This is a
+    #: *progress* timeout on the whole pool, not a per-job deadline — it
+    #: only fires when every worker has gone quiet (hung or dead).
+    job_timeout_s: float | None = None
+    #: When ``True`` (the default), jobs that failed in a worker — or never
+    #: arrived before a stall — are re-run serially in the parent after the
+    #: pool is torn down, so one crashing worker degrades throughput instead
+    #: of losing the sweep.  ``False`` raises :class:`WorkerJobError`
+    #: carrying the worker traceback.
+    retry_failed_jobs: bool = True
 
     def __post_init__(self) -> None:
         self._jobs = resolve_jobs(self.jobs)
@@ -317,6 +428,7 @@ class ParallelEvaluator:
                 overall=sweep.finalize(),
                 per_app=sweep.finalize_per_app(),
                 thermal=sweep.overall.finalize_thermal(),
+                faults=sweep.overall.finalize_faults(),
             )
             for scheme, sweep in sweeps.items()
             if sweep.overall.n_sessions
@@ -335,6 +447,8 @@ class ParallelEvaluator:
         *,
         learner: EventSequenceLearner | None = None,
         keep_results: bool = False,
+        on_sweep_complete: Callable[[MatrixSweep, dict[str, SchemeAggregates]], None]
+        | None = None,
     ) -> MatrixOutcome:
         """Fan several scenarios' (scheme x trace) jobs through one pool.
 
@@ -343,6 +457,13 @@ class ParallelEvaluator:
         Aggregation folds results in global job order (sweep, then scheme,
         then trace), making every per-scenario aggregate bit-identical for
         any worker count.
+
+        ``on_sweep_complete`` is called once per sweep, in matrix order, the
+        moment that sweep's last job has been folded — while later sweeps
+        may still be running.  The checkpoint journal hangs off this hook:
+        finalisation is a pure function of the folded sums, so the
+        aggregates it receives are identical to the ones returned at the
+        end.
         """
         sweep_list = list(sweeps)
         keys = [sweep.key for sweep in sweep_list]
@@ -352,33 +473,35 @@ class ParallelEvaluator:
             raise ValueError("running PES requires a trained learner")
 
         jobs: list[tuple[int, str, str, Trace]] = []
+        sweep_end: dict[int, MatrixSweep] = {}
         for sweep in sweep_list:
             for scheme in sweep.schemes:
                 for trace in sweep.traces:
                     jobs.append((len(jobs), sweep.key, scheme, trace))
+            sweep_end[len(jobs) - 1] = sweep
         aggregator = StreamingMatrixAggregator()
         ordered: list[SessionResult | None] = [None] * len(jobs) if keep_results else []
         if not jobs:
             return MatrixOutcome(aggregates={}, results={} if keep_results else None)
 
+        def fold(index: int, result: SessionResult) -> None:
+            _, key, scheme, _ = jobs[index]
+            aggregator.add(key, scheme, result)
+            if ordered:
+                ordered[index] = result
+            finished = sweep_end.get(index)
+            if finished is not None and on_sweep_complete is not None:
+                on_sweep_complete(finished, _finalize_sweep(aggregator, finished))
+
         workers = min(self._jobs, len(jobs))
         if workers <= 1:
-            self._run_matrix_serial(sweep_list, learner, aggregator, ordered)
+            self._run_matrix_serial(sweep_list, learner, fold)
         else:
-            self._run_matrix_parallel(sweep_list, jobs, learner, aggregator, ordered, workers)
+            self._run_matrix_parallel(sweep_list, jobs, learner, fold, workers)
 
         aggregates: dict[str, dict[str, SchemeAggregates]] = {}
         for sweep in sweep_list:
-            per_scheme: dict[str, SchemeAggregates] = {}
-            for scheme in sweep.schemes:
-                if (sweep.key, scheme) not in aggregator.cells:
-                    continue
-                overall, per_app = aggregator.finalize_cell(sweep.key, scheme)
-                per_scheme[scheme] = SchemeAggregates(
-                    overall=overall,
-                    per_app=per_app,
-                    thermal=aggregator.finalize_cell_thermal(sweep.key, scheme),
-                )
+            per_scheme = _finalize_sweep(aggregator, sweep)
             if per_scheme:
                 aggregates[sweep.key] = per_scheme
 
@@ -432,43 +555,41 @@ class ParallelEvaluator:
             for position, scheme in enumerate(schemes)
             for offset, trace in enumerate(traces)
         ]
-        chunk = self.chunk_size or pool_chunk_size(len(jobs), workers)
-        pool = mp_context().Pool(
-            processes=workers,
+
+        def fold(index: int, result: SessionResult) -> None:
+            sweeps[schemes[index // n_traces]].add(result)
+            if ordered:
+                ordered[index] = result
+
+        # Serial re-run path for failed/stalled jobs; the simulator is built
+        # lazily so a clean run never pays for it.
+        parent_simulator: list[Simulator] = []
+
+        def rerun(index: int) -> SessionResult:
+            if not parent_simulator:
+                parent_simulator.append(Simulator(setup=self.setup, catalog=self.catalog))
+            _, scheme, trace = jobs[index]
+            return parent_simulator[0].run_scheme(
+                [trace], scheme, learner=learner, pes_config=pes_config
+            )[0]
+
+        self._drain_pool(
+            n_jobs=len(jobs),
+            submit=lambda pool, chunk: pool.imap_unordered(
+                _run_job_chunk, _chunked(jobs, chunk)
+            ),
             initializer=_init_worker,
             initargs=(self.setup, self.catalog, learner, pes_config),
+            workers=workers,
+            fold=fold,
+            rerun=rerun,
         )
-        try:
-            # Results arrive in completion order (work stealing); buffer the
-            # out-of-order tail and fold the contiguous prefix so aggregation
-            # order — hence every floating-point total — matches the serial
-            # sweep exactly.
-            pending: dict[int, SessionResult] = {}
-            next_index = 0
-            for index, result in pool.imap_unordered(_run_job, jobs, chunksize=chunk):
-                pending[index] = result
-                while next_index in pending:
-                    ready = pending.pop(next_index)
-                    sweeps[schemes[next_index // n_traces]].add(ready)
-                    if ordered:
-                        ordered[next_index] = ready
-                    next_index += 1
-        except BaseException:
-            # Don't drain the queued remainder of the sweep just to report a
-            # failure that already happened.
-            pool.terminate()
-            raise
-        else:
-            pool.close()
-        finally:
-            pool.join()
 
     def _run_matrix_serial(
         self,
         sweeps: list[MatrixSweep],
         learner: EventSequenceLearner | None,
-        aggregator: StreamingMatrixAggregator,
-        ordered: list[SessionResult | None],
+        fold: Callable[[int, SessionResult], None],
     ) -> None:
         """In-process matrix run: one simulator per sweep, global job order."""
         position = 0
@@ -479,9 +600,7 @@ class ParallelEvaluator:
                     list(sweep.traces), scheme, learner=learner, pes_config=sweep.pes_config
                 )
                 for result in results:
-                    aggregator.add(sweep.key, scheme, result)
-                    if ordered:
-                        ordered[position] = result
+                    fold(position, result)
                     position += 1
 
     def _run_matrix_parallel(
@@ -489,38 +608,144 @@ class ParallelEvaluator:
         sweeps: list[MatrixSweep],
         jobs: list[tuple[int, str, str, Trace]],
         learner: EventSequenceLearner | None,
-        aggregator: StreamingMatrixAggregator,
-        ordered: list[SessionResult | None],
+        fold: Callable[[int, SessionResult], None],
         workers: int,
     ) -> None:
-        job_cell = [(key, scheme) for _, key, scheme, _ in jobs]
         setups = {sweep.key: sweep.setup for sweep in sweeps}
         pes_configs = {sweep.key: sweep.pes_config for sweep in sweeps}
-        chunk = self.chunk_size or pool_chunk_size(len(jobs), workers)
-        pool = mp_context().Pool(
-            processes=workers,
+        parent_simulators: dict[str, Simulator] = {}
+
+        def rerun(index: int) -> SessionResult:
+            _, key, scheme, trace = jobs[index]
+            simulator = parent_simulators.get(key)
+            if simulator is None:
+                simulator = Simulator(setup=setups[key], catalog=self.catalog)
+                parent_simulators[key] = simulator
+            return simulator.run_scheme(
+                [trace], scheme, learner=learner, pes_config=pes_configs[key]
+            )[0]
+
+        self._drain_pool(
+            n_jobs=len(jobs),
+            submit=lambda pool, chunk: pool.imap_unordered(
+                _run_matrix_job_chunk, _chunked(jobs, chunk)
+            ),
             initializer=_init_matrix_worker,
             initargs=(self.catalog, learner, setups, pes_configs),
+            workers=workers,
+            fold=fold,
+            rerun=rerun,
         )
+
+    # -- pool lifecycle -----------------------------------------------------------
+
+    def _drain_pool(
+        self,
+        *,
+        n_jobs: int,
+        submit: Callable,
+        initializer: Callable,
+        initargs: tuple,
+        workers: int,
+        fold: Callable[[int, SessionResult], None],
+        rerun: Callable[[int], SessionResult],
+    ) -> None:
+        """Run one pool to completion with ordered folding and fault recovery.
+
+        Results arrive in completion order (work stealing); the contiguous
+        prefix is folded as it fills in, so aggregation order — hence every
+        floating-point total — matches the serial sweep exactly.  A job that
+        failed in its worker parks as a :class:`_JobFailure` and blocks the
+        prefix; once the pool is torn down (cleanly on completion,
+        ``terminate`` on a stall), failed and undelivered jobs are re-run
+        serially in the parent (or surfaced as :class:`WorkerJobError` when
+        ``retry_failed_jobs`` is off) and the fold completes in order.
+        KeyboardInterrupt and other parent-side exceptions still terminate
+        and join the pool before propagating — no leaked worker processes,
+        no un-joined pool.
+        """
+        chunk = self.chunk_size or pool_chunk_size(n_jobs, workers)
+        # Deliveries arrive one chunk at a time, and a chunk runs its jobs
+        # serially on one worker — so the per-delivery watchdog bound is the
+        # per-job timeout scaled by the chunk size.
+        timeout = None if self.job_timeout_s is None else self.job_timeout_s * chunk
+        pending: dict[int, SessionResult | _JobFailure] = {}
+        next_index = 0
+        delivered = 0
+        stalled = False
+        pool = mp_context().Pool(processes=workers, initializer=initializer, initargs=initargs)
         try:
-            # Same prefix-buffered fold as the single-sweep path: results
-            # arrive in completion order, aggregation happens in job order,
-            # so per-scenario totals match the serial matrix bit-for-bit.
-            pending: dict[int, SessionResult] = {}
-            next_index = 0
-            for index, result in pool.imap_unordered(_run_matrix_job, jobs, chunksize=chunk):
-                pending[index] = result
-                while next_index in pending:
-                    ready = pending.pop(next_index)
-                    key, scheme = job_cell[next_index]
-                    aggregator.add(key, scheme, ready)
-                    if ordered:
-                        ordered[next_index] = ready
+            iterator = submit(pool, chunk)
+            while delivered < n_jobs:
+                try:
+                    batch = iterator.next(timeout)
+                except StopIteration:  # pragma: no cover - defensive
+                    break
+                except multiprocessing.TimeoutError:
+                    stalled = True
+                    break
+                for index, result in batch:
+                    delivered += 1
+                    pending[index] = result
+                while next_index in pending and not isinstance(
+                    pending[next_index], _JobFailure
+                ):
+                    fold(next_index, pending.pop(next_index))  # type: ignore[arg-type]
                     next_index += 1
         except BaseException:
+            # Don't drain the queued remainder of the sweep just to report a
+            # failure that already happened.
             pool.terminate()
             raise
         else:
-            pool.close()
+            if stalled:
+                # Workers have gone quiet past the watchdog: close() would
+                # wait on them forever.
+                pool.terminate()
+            else:
+                pool.close()
         finally:
             pool.join()
+
+        failures = {
+            index: result
+            for index, result in pending.items()
+            if isinstance(result, _JobFailure)
+        }
+        undelivered = [
+            index
+            for index in range(next_index, n_jobs)
+            if index not in pending
+        ]
+        to_recover = sorted(failures.keys() | set(undelivered))
+        if to_recover:
+            if not self.retry_failed_jobs:
+                detail = "\n\n".join(
+                    f"job {index}: {failure.error_type}: {failure.message}\n"
+                    f"{failure.traceback}"
+                    for index, failure in sorted(failures.items())
+                ) or f"jobs {undelivered} stalled past job_timeout_s={self.job_timeout_s}"
+                raise WorkerJobError(
+                    f"{len(to_recover)} parallel job(s) failed and "
+                    f"retry_failed_jobs is off:\n{detail}"
+                )
+            reasons = [
+                f"job {index}: {failures[index].error_type}: {failures[index].message}"
+                if index in failures
+                else f"job {index}: no result before job_timeout_s={self.job_timeout_s}"
+                for index in to_recover
+            ]
+            warnings.warn(
+                f"{len(to_recover)} parallel job(s) failed or stalled; "
+                "re-running serially in the parent:\n  " + "\n  ".join(reasons),
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            for index in to_recover:
+                pending[index] = rerun(index)
+
+        while next_index < n_jobs:
+            result = pending.pop(next_index)
+            assert not isinstance(result, _JobFailure)
+            fold(next_index, result)
+            next_index += 1

@@ -14,6 +14,7 @@ from typing import Mapping, Sequence
 
 from repro.core.pes import PesConfig, PesScheduler
 from repro.core.predictor.sequence_learner import EventSequenceLearner
+from repro.faults import FaultInjector, FaultSpec
 from repro.hardware.acmp import AcmpSystem
 from repro.hardware.energy import SwitchingCosts
 from repro.hardware.platforms import exynos_5410
@@ -53,6 +54,11 @@ class SimulationSetup:
     ``None`` for the pre-thermal behaviour (including platforms that were
     already *statically* throttled via
     :meth:`~repro.hardware.thermal.ThermalModel.constrain`).
+
+    ``faults`` enables seeded fault injection (see :mod:`repro.faults`): the
+    engines draw deterministic predictor/sensor/DVFS/event-stream faults per
+    session.  A ``None`` or zero-rate (``is_null``) spec maps to no injector
+    at all, so it is bit-identical to the fault-free path.
     """
 
     system: AcmpSystem = field(default_factory=exynos_5410)
@@ -60,18 +66,21 @@ class SimulationSetup:
     pipeline: RenderingPipeline = field(default_factory=RenderingPipeline)
     switching: SwitchingCosts = field(default_factory=SwitchingCosts)
     thermal: ThermalModel | None = None
+    faults: FaultSpec | None = None
     power_table: PowerTable = field(init=False)
 
     def __post_init__(self) -> None:
         self.power_table = self.power_model.build_table(self.system)
 
     def engine_config(self) -> EngineConfig:
+        inject = self.faults is not None and not self.faults.is_null
         return EngineConfig(
             system=self.system,
             power_table=self.power_table,
             pipeline=self.pipeline,
             switching=self.switching,
             thermal=self.thermal,
+            faults=FaultInjector(self.faults) if inject else None,
         )
 
 

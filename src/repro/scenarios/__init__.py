@@ -15,6 +15,7 @@ object instead of an ad-hoc script:
   matrices (``python -m repro scenarios list``).
 """
 
+from repro.scenarios.checkpoint import ArtefactError, MatrixJournal
 from repro.scenarios.library import (
     BUILTIN_SCENARIOS,
     MATRICES,
@@ -41,8 +42,10 @@ from repro.scenarios.sweep import PlatformSweep, PlatformVariant
 
 __all__ = [
     "APP_MIXES",
+    "ArtefactError",
     "BUILTIN_SCENARIOS",
     "MATRICES",
+    "MatrixJournal",
     "PlatformSweep",
     "PlatformVariant",
     "ScenarioMatrix",

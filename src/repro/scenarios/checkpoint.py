@@ -1,0 +1,113 @@
+"""Crash-tolerant checkpointing for matrix runs.
+
+A :class:`MatrixJournal` is an append-only JSON-lines file sitting next to
+the final artefact: every time a scenario cell finishes (the
+``on_sweep_complete`` hook of
+:meth:`~repro.runtime.parallel.ParallelEvaluator.evaluate_matrix`), its
+fully-serialised :class:`~repro.scenarios.runner.ScenarioResult` is
+appended and fsynced.  If the run dies — worker crash, OOM kill, Ctrl-C —
+the journal holds every completed cell; re-running with ``--resume`` skips
+those cells and replays only the remainder.
+
+Two properties make resume safe:
+
+* **Torn tails are dropped, not fatal.**  A crash mid-append leaves a
+  truncated last line; :meth:`MatrixJournal.entries` stops at the first
+  unparseable line, so that cell simply re-runs.
+* **Stale entries are ignored by content, not position.**  A journal entry
+  only counts as completed if its serialised spec matches a spec of the
+  *current* run exactly, so editing the matrix between runs silently
+  invalidates exactly the cells that changed.
+
+Because every replay is deterministic and
+:meth:`~repro.scenarios.runner.ScenarioResult.to_dict` round-trips
+losslessly through JSON, a resumed run's final artefact is byte-identical
+to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
+
+from repro.scenarios.spec import ScenarioSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.scenarios.runner import ScenarioResult
+
+
+class ArtefactError(RuntimeError):
+    """A results artefact or journal is unreadable (truncated/corrupt JSON)."""
+
+
+def _spec_key(spec_payload: dict) -> str:
+    """Canonical content key for matching journal entries to current specs."""
+    return json.dumps(spec_payload, sort_keys=True)
+
+
+@dataclass
+class MatrixJournal:
+    """Append-only per-cell checkpoint file for a scenario matrix run."""
+
+    path: Path
+
+    def __post_init__(self) -> None:
+        self.path = Path(self.path)
+
+    def append(self, result: "ScenarioResult") -> None:
+        """Durably record one completed cell (flushed and fsynced)."""
+        line = json.dumps(result.to_dict())
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def entries(self) -> list[dict]:
+        """Parsed journal entries, dropping a torn tail from a mid-write crash."""
+        if not self.path.exists():
+            return []
+        entries: list[dict] = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entries.append(json.loads(line))
+                except json.JSONDecodeError:
+                    # A torn last line means the run died mid-append; the
+                    # cell it belonged to simply re-runs.  Anything after it
+                    # cannot be trusted either.
+                    break
+        return entries
+
+    def completed_results(
+        self, specs: Sequence[ScenarioSpec]
+    ) -> dict[str, "ScenarioResult"]:
+        """Journaled results matching the given specs, keyed by spec name.
+
+        Matching is by full serialised spec content: an entry whose spec
+        does not exactly match one of ``specs`` (the matrix changed since
+        the journal was written) is ignored, so its cell re-runs.
+        """
+        from repro.scenarios.runner import ScenarioResult
+
+        wanted = {_spec_key(spec.to_dict()): spec.name for spec in specs}
+        completed: dict[str, ScenarioResult] = {}
+        for entry in self.entries():
+            spec_payload = entry.get("spec")
+            if not isinstance(spec_payload, dict):
+                continue
+            name = wanted.get(_spec_key(spec_payload))
+            if name is None:
+                continue
+            completed[name] = ScenarioResult.from_dict(entry)
+        return completed
+
+    def clear(self) -> None:
+        """Delete the journal (a fresh, non-resumed run starts clean)."""
+        self.path.unlink(missing_ok=True)

@@ -22,6 +22,7 @@ systems via :class:`~repro.scenarios.sweep.PlatformSweep` — the same axes
 
 from __future__ import annotations
 
+from repro.faults import get_fault_preset
 from repro.scenarios.spec import ScenarioMatrix, ScenarioSpec
 from repro.scenarios.sweep import PlatformSweep
 
@@ -196,6 +197,27 @@ def _builtin_matrices() -> dict[str, ScenarioMatrix]:
         # (flat-out dwell for the whole session) throttles marathons hardest,
         # while live dynamics show the opposite: ~50%-duty flash-crowd bursts
         # heat the package past its thresholds and low-duty marathons never do.
+        # Resilience matrix: the same (scheme x trace) grid replayed under
+        # each fault preset plus a fault-free control column.  The headline
+        # read-out is ``scenario_faults_table`` — how much QoS and energy
+        # each scheme gives up per fault family, and how often the injected
+        # faults are absorbed (deadline still met / cap still right).
+        "fault_sweep": ScenarioMatrix(
+            name="fault_sweep",
+            platforms=("exynos5410",),
+            regimes=("default",),
+            app_mixes=("core",),
+            schemes=("Interactive", "EBS", "PES"),
+            fault_specs=(
+                None,
+                get_fault_preset("predictor_flaky"),
+                get_fault_preset("dvfs_flaky"),
+                get_fault_preset("lossy_events"),
+                get_fault_preset("chaos"),
+            ),
+            traces_per_app=1,
+            description="fault presets x schemes: degradation and recovery under injected faults",
+        ),
         "thermal_dynamic": ScenarioMatrix(
             name="thermal_dynamic",
             platform_sweep=PlatformSweep(

@@ -16,15 +16,17 @@ without importing this package's classes.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Sequence
 
 from repro.core.predictor.sequence_learner import EventSequenceLearner
 from repro.core.predictor.training import PredictorTrainer
-from repro.runtime.metrics import AggregateMetrics, ThermalAggregate
+from repro.runtime.metrics import AggregateMetrics, FaultAggregate, ThermalAggregate
 from repro.runtime.parallel import MatrixSweep, ParallelEvaluator, SchemeAggregates
 from repro.runtime.simulator import SimulationSetup
+from repro.scenarios.checkpoint import ArtefactError, MatrixJournal
 from repro.scenarios.spec import ScenarioSpec
 from repro.traces.generator import TraceGenerator
 from repro.webapp.apps import AppCatalog, SEEN_APPS
@@ -78,6 +80,9 @@ class ScenarioResult:
                 # thermal-free artefacts (including the committed golden
                 # fixture) keep their exact byte shape.
                 cell["thermal"] = aggregates.thermal.to_dict()
+            if aggregates.faults is not None:
+                # Same convention: only fault-injected cells carry the block.
+                cell["faults"] = aggregates.faults.to_dict()
             schemes[scheme] = cell
         return {
             "spec": self.spec.to_dict(),
@@ -100,6 +105,11 @@ class ScenarioResult:
                     if cell.get("thermal") is not None
                     else None
                 ),
+                faults=(
+                    FaultAggregate.from_dict(cell["faults"])
+                    if cell.get("faults") is not None
+                    else None
+                ),
             )
             for scheme, cell in payload["schemes"].items()
         }
@@ -113,6 +123,11 @@ class ScenarioRunner:
     catalog: AppCatalog = field(default_factory=AppCatalog)
     jobs: int = 1
     chunk_size: int | None = None
+    #: Pool-wide stall watchdog forwarded to
+    #: :class:`~repro.runtime.parallel.ParallelEvaluator` — seconds without
+    #: any worker finishing a job before the pool is torn down and the
+    #: unfinished jobs re-run serially in the parent.
+    job_timeout_s: float | None = None
     #: Traces per seen app used when a PES scenario needs a learner and the
     #: caller did not supply one.
     train_traces_per_app: int = 4
@@ -151,7 +166,9 @@ class ScenarioRunner:
         return MatrixSweep(
             key=spec.name,
             setup=SimulationSetup(
-                system=spec.system(), thermal=spec.dynamic_thermal_model()
+                system=spec.system(),
+                thermal=spec.dynamic_thermal_model(),
+                faults=spec.faults,
             ),
             traces=tuple(traces),
             schemes=spec.schemes,
@@ -186,20 +203,55 @@ class ScenarioRunner:
         specs: Sequence[ScenarioSpec],
         *,
         learner: EventSequenceLearner | None = None,
+        journal: MatrixJournal | None = None,
+        resume: bool = False,
     ) -> list[ScenarioResult]:
-        """Run every scenario, returning one result per spec in spec order."""
+        """Run every scenario, returning one result per spec in spec order.
+
+        With a ``journal``, every finished scenario is checkpointed the
+        moment its last session folds (crash-tolerance for long matrix
+        runs).  ``resume=True`` additionally skips scenarios already
+        journaled under an exactly-matching spec; because every replay is
+        deterministic and result serialisation round-trips losslessly, a
+        resumed run's results — and any artefact written from them — are
+        byte-identical to an uninterrupted run's.  Without ``resume`` an
+        existing journal is cleared first, so a fresh run never mixes in
+        stale cells.
+        """
         spec_list = list(specs)
         if not spec_list:
             return []
-        if learner is None and any("PES" in spec.schemes for spec in spec_list):
-            learner = self.train_learner()
-        sweeps = [self.build_sweep(spec) for spec in spec_list]
-        evaluator = ParallelEvaluator(
-            catalog=self.catalog, jobs=self.jobs, chunk_size=self.chunk_size
-        )
-        outcome = evaluator.evaluate_matrix(sweeps, learner=learner)
+        completed: dict[str, ScenarioResult] = {}
+        if journal is not None:
+            if resume:
+                completed = journal.completed_results(spec_list)
+            else:
+                journal.clear()
+        todo = [spec for spec in spec_list if spec.name not in completed]
+        fresh: dict[str, ScenarioResult] = {}
+        if todo:
+            if learner is None and any("PES" in spec.schemes for spec in todo):
+                learner = self.train_learner()
+            sweeps = [self.build_sweep(spec) for spec in todo]
+            evaluator = ParallelEvaluator(
+                catalog=self.catalog,
+                jobs=self.jobs,
+                chunk_size=self.chunk_size,
+                job_timeout_s=self.job_timeout_s,
+            )
+            by_key = {spec.name: spec for spec in todo}
+
+            def checkpoint(
+                sweep: MatrixSweep, aggregates: dict[str, SchemeAggregates]
+            ) -> None:
+                result = ScenarioResult(spec=by_key[sweep.key], aggregates=aggregates)
+                fresh[sweep.key] = result
+                if journal is not None:
+                    journal.append(result)
+
+            evaluator.evaluate_matrix(sweeps, learner=learner, on_sweep_complete=checkpoint)
         return [
-            ScenarioResult(spec=spec, aggregates=outcome.aggregates[spec.name])
+            completed[spec.name] if spec.name in completed else fresh[spec.name]
             for spec in spec_list
         ]
 
@@ -246,15 +298,36 @@ def write_results(
     *,
     matrix: str | None = None,
 ) -> Path:
+    """Atomically write a ``SCENARIOS_*.json`` artefact.
+
+    The payload lands in a sibling temp file first and is moved into place
+    with :func:`os.replace`, so a crash mid-write can never leave a
+    truncated artefact at ``path`` — readers see either the old complete
+    file or the new complete file.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = results_to_payload(results, matrix=matrix)
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2) + "\n")
+    os.replace(tmp, path)
     return path
 
 
 def load_results(path: str | Path) -> tuple[dict, list[ScenarioResult]]:
-    """Read a ``SCENARIOS_*.json`` artefact back into result objects."""
-    payload = json.loads(Path(path).read_text())
+    """Read a ``SCENARIOS_*.json`` artefact back into result objects.
+
+    Raises :class:`~repro.scenarios.checkpoint.ArtefactError` when the file
+    holds corrupt or truncated JSON, naming the file and the parse position
+    instead of surfacing a bare decode error.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ArtefactError(
+            f"results artefact {path} is corrupt or truncated: {exc.msg} at "
+            f"line {exc.lineno} column {exc.colno} (char {exc.pos})"
+        ) from exc
     results = [ScenarioResult.from_dict(entry) for entry in payload["scenarios"]]
     return payload, results

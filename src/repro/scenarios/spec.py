@@ -21,6 +21,7 @@ from dataclasses import asdict, dataclass
 from itertools import product
 
 from repro.core.pes import PesConfig
+from repro.faults import FaultSpec
 from repro.hardware.acmp import AcmpSystem
 from repro.runtime.simulator import KNOWN_SCHEMES
 from repro.scenarios.sweep import PlatformSweep, PlatformVariant
@@ -96,6 +97,10 @@ class ScenarioSpec:
     #: the engines instead, throttling per event as the package heats and
     #: cools.  Without a ``thermal`` curve both modes are identical.
     thermal_mode: str = "static"
+    #: Seeded fault condition injected into every session of the cell
+    #: (:mod:`repro.faults`).  ``None`` — and any zero-rate spec — is
+    #: bit-identical to the fault-free path.
+    faults: FaultSpec | None = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -208,6 +213,10 @@ class ScenarioSpec:
             # committed golden fixture stay byte-identical; from_dict
             # defaults a missing key back to "static".
             payload["thermal_mode"] = self.thermal_mode
+        if self.faults is not None:
+            # Same conditional emission: fault-free artefacts (including the
+            # golden fixture) keep their exact byte shape.
+            payload["faults"] = self.faults.to_dict()
         payload["description"] = self.description
         return payload
 
@@ -215,6 +224,7 @@ class ScenarioSpec:
     def from_dict(cls, payload: dict) -> "ScenarioSpec":
         apps = payload["apps"]
         pes = payload.get("pes")
+        faults = payload.get("faults")
         return cls(
             name=payload["name"],
             platform=payload.get("platform", "exynos5410"),
@@ -229,6 +239,7 @@ class ScenarioSpec:
             perf_scale=payload.get("perf_scale"),
             thermal=payload.get("thermal"),
             thermal_mode=payload.get("thermal_mode", "static"),
+            faults=FaultSpec.from_dict(faults) if faults is not None else None,
             description=payload.get("description", ""),
         )
 
@@ -261,6 +272,11 @@ class ScenarioMatrix:
     app_mixes: tuple[str, ...] = ("core",)
     schemes: tuple[str, ...] = ("Interactive", "EBS", "PES")
     pes_configs: tuple[PesConfig | None, ...] = (None,)
+    #: Fault-condition axis: each entry is cross-producted like any other
+    #: axis (``None`` = the fault-free cell).  Cell names gain a
+    #: ``/<fault name>`` (or ``/nofault``) suffix when more than one entry
+    #: is swept.
+    fault_specs: tuple[FaultSpec | None, ...] = (None,)
     platform_sweep: PlatformSweep | None = None
     traces_per_app: int = 1
     seed: int = 500_000
@@ -281,6 +297,7 @@ class ScenarioMatrix:
             ("app_mixes", self.app_mixes),
             ("schemes", self.schemes),
             ("pes_configs", self.pes_configs),
+            ("fault_specs", self.fault_specs),
         ):
             if not axis:
                 raise ValueError(f"matrix {self.name!r} has an empty {axis_name} axis")
@@ -288,6 +305,11 @@ class ScenarioMatrix:
             # twice-replayed scheme), corrupting aggregates downstream.
             if any(axis[i] in axis[:i] for i in range(1, len(axis))):
                 raise ValueError(f"matrix {self.name!r} {axis_name} axis has duplicate entries")
+        fault_names = [self._fault_label(fault) for fault in self.fault_specs]
+        if len(set(fault_names)) != len(fault_names):
+            # Fault cell names come from the spec names, so two distinct
+            # specs sharing a name would still collide in cell keys.
+            raise ValueError(f"matrix {self.name!r} fault_specs axis has duplicate names")
         if self.platforms is not None:
             if not self.platforms:
                 raise ValueError(f"matrix {self.name!r} has an empty platforms axis")
@@ -306,6 +328,10 @@ class ScenarioMatrix:
         platforms = self.platforms if self.platforms is not None else ("exynos5410",)
         return [PlatformVariant(platform=platform) for platform in platforms]
 
+    @staticmethod
+    def _fault_label(fault: FaultSpec | None) -> str:
+        return fault.name if fault is not None else "nofault"
+
     @property
     def n_cells(self) -> int:
         return (
@@ -313,20 +339,24 @@ class ScenarioMatrix:
             * len(self.regimes)
             * len(self.app_mixes)
             * len(self.pes_configs)
+            * len(self.fault_specs)
         )
 
     def expand(self) -> list[ScenarioSpec]:
         """One validated :class:`ScenarioSpec` per cell, deterministic order."""
         specs: list[ScenarioSpec] = []
-        for variant, regime, mix, (pes_index, pes) in product(
+        for variant, regime, mix, (pes_index, pes), fault in product(
             self.platform_variants(),
             self.regimes,
             self.app_mixes,
             enumerate(self.pes_configs),
+            self.fault_specs,
         ):
             cell = f"{variant.label}/{regime}/{mix}"
             if len(self.pes_configs) > 1:
                 cell += f"/pes{pes_index}"
+            if len(self.fault_specs) > 1:
+                cell += f"/{self._fault_label(fault)}"
             specs.append(
                 ScenarioSpec(
                     name=cell,
@@ -342,6 +372,7 @@ class ScenarioMatrix:
                     perf_scale=variant.perf_scale,
                     thermal=variant.thermal,
                     thermal_mode=self.thermal_mode,
+                    faults=fault,
                     description=self.description,
                 )
             )
@@ -369,6 +400,11 @@ class ScenarioMatrix:
             # Same conditional emission as ScenarioSpec: pre-thermal payloads
             # keep their exact byte shape, from_dict defaults to "static".
             payload["thermal_mode"] = self.thermal_mode
+        if self.fault_specs != (None,):
+            payload["fault_specs"] = [
+                fault.to_dict() if fault is not None else None
+                for fault in self.fault_specs
+            ]
         payload["description"] = self.description
         return payload
 
@@ -385,6 +421,10 @@ class ScenarioMatrix:
             pes_configs=tuple(
                 PesConfig(**pes) if pes is not None else None
                 for pes in payload.get("pes_configs", (None,))
+            ),
+            fault_specs=tuple(
+                FaultSpec.from_dict(fault) if fault is not None else None
+                for fault in payload.get("fault_specs", (None,))
             ),
             platform_sweep=PlatformSweep.from_dict(sweep) if sweep is not None else None,
             traces_per_app=int(payload.get("traces_per_app", 1)),

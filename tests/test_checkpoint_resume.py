@@ -1,0 +1,183 @@
+"""Checkpoint/resume tests: the matrix journal and atomic artefact I/O.
+
+The crash-tolerance contract under test:
+
+* every finished scenario lands in the journal durably, torn tails from a
+  mid-write crash are dropped rather than fatal, and entries whose spec no
+  longer matches the current matrix are ignored,
+* a run killed mid-matrix and resumed with ``--resume`` produces a final
+  artefact **byte-identical** to an uninterrupted run's,
+* ``write_results`` is atomic (temp file + ``os.replace``; no ``.tmp``
+  debris on success) and ``load_results`` reports corrupt artefacts as
+  :class:`ArtefactError` naming the file and parse position.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.cli import main
+from repro.faults import get_fault_preset
+from repro.scenarios import (
+    ArtefactError,
+    MatrixJournal,
+    ScenarioMatrix,
+    ScenarioRunner,
+    load_results,
+    write_results,
+)
+
+
+@pytest.fixture(scope="module")
+def mini_specs():
+    return ScenarioMatrix(
+        name="mini",
+        platforms=("exynos5410",),
+        regimes=("default", "flash_crowd"),
+        app_mixes=("core",),
+        schemes=("Interactive", "EBS"),
+        fault_specs=(None, get_fault_preset("dvfs_flaky")),
+    ).expand()
+
+
+@pytest.fixture(scope="module")
+def uninterrupted_artefact(mini_specs, tmp_path_factory):
+    path = tmp_path_factory.mktemp("golden") / "mini.json"
+    results = ScenarioRunner(jobs=1).run(mini_specs)
+    write_results(results, path, matrix="mini")
+    return path.read_text()
+
+
+class TestMatrixJournal:
+    def test_append_entries_clear(self, mini_specs, tmp_path):
+        journal = MatrixJournal(tmp_path / "run.journal")
+        assert journal.entries() == []
+        results = ScenarioRunner(jobs=1).run(mini_specs[:2], journal=journal)
+        assert len(journal.entries()) == 2
+        completed = journal.completed_results(mini_specs)
+        assert sorted(completed) == sorted(spec.name for spec in mini_specs[:2])
+        for spec in mini_specs[:2]:
+            assert completed[spec.name].to_dict() == results[
+                [s.name for s in mini_specs[:2]].index(spec.name)
+            ].to_dict()
+        journal.clear()
+        assert journal.entries() == []
+        journal.clear()  # idempotent on a missing file
+
+    def test_torn_tail_is_dropped(self, mini_specs, tmp_path):
+        journal = MatrixJournal(tmp_path / "run.journal")
+        ScenarioRunner(jobs=1).run(mini_specs[:2], journal=journal)
+        lines = journal.path.read_text().splitlines()
+        journal.path.write_text(lines[0] + "\n" + lines[1][: len(lines[1]) // 2])
+        assert len(journal.entries()) == 1
+        completed = journal.completed_results(mini_specs)
+        assert list(completed) == [mini_specs[0].name]
+
+    def test_stale_spec_entries_are_ignored(self, mini_specs, tmp_path):
+        journal = MatrixJournal(tmp_path / "run.journal")
+        ScenarioRunner(jobs=1).run(mini_specs[:1], journal=journal)
+        # The matrix changed since the journal was written: the journaled
+        # cell's spec no longer matches, so it must re-run.
+        changed = [dataclasses.replace(mini_specs[0], traces_per_app=2)]
+        assert journal.completed_results(changed) == {}
+
+    def test_fresh_run_clears_a_stale_journal(self, mini_specs, tmp_path):
+        journal = MatrixJournal(tmp_path / "run.journal")
+        ScenarioRunner(jobs=1).run(mini_specs[:1], journal=journal)
+        # Without resume, an existing journal is cleared before the run, so
+        # it only ever holds this run's cells.
+        ScenarioRunner(jobs=1).run(mini_specs[1:2], journal=journal)
+        assert len(journal.entries()) == 1
+        assert list(journal.completed_results(mini_specs)) == [mini_specs[1].name]
+
+
+class TestResumeByteIdentity:
+    def test_resume_after_partial_run_is_byte_identical(
+        self, mini_specs, tmp_path, uninterrupted_artefact
+    ):
+        journal = MatrixJournal(tmp_path / "run.journal")
+        # "Crash" after the first two cells: only they reach the journal.
+        ScenarioRunner(jobs=1).run(mini_specs[:2], journal=journal)
+
+        out = tmp_path / "mini.json"
+        results = ScenarioRunner(jobs=1).run(mini_specs, journal=journal, resume=True)
+        write_results(results, out, matrix="mini")
+        assert out.read_text() == uninterrupted_artefact
+
+    def test_resume_with_complete_journal_runs_nothing(self, mini_specs, tmp_path):
+        journal = MatrixJournal(tmp_path / "run.journal")
+        runner = ScenarioRunner(jobs=1)
+        first = runner.run(mini_specs, journal=journal)
+        resumed = ScenarioRunner(jobs=1).run(mini_specs, journal=journal, resume=True)
+        assert [r.to_dict() for r in resumed] == [r.to_dict() for r in first]
+
+
+class TestArtefactIO:
+    def test_write_results_is_atomic(self, mini_specs, tmp_path):
+        out = tmp_path / "a.json"
+        results = ScenarioRunner(jobs=1).run(mini_specs[:1])
+        write_results(results, out, matrix="mini")
+        payload, loaded = load_results(out)
+        assert payload["n_scenarios"] == 1
+        assert loaded[0].spec == mini_specs[0]
+        # No temp debris once the replace landed.
+        assert list(tmp_path.iterdir()) == [out]
+
+    def test_truncated_artefact_raises_artefact_error(
+        self, tmp_path, uninterrupted_artefact
+    ):
+        bad = tmp_path / "bad.json"
+        bad.write_text(uninterrupted_artefact[: len(uninterrupted_artefact) // 2])
+        with pytest.raises(ArtefactError, match=r"bad\.json.*line \d+ column \d+"):
+            load_results(bad)
+
+    def test_corrupt_artefact_names_parse_position(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"scenarios": [}')
+        with pytest.raises(ArtefactError, match="char 15"):
+            load_results(bad)
+
+
+class TestCliIntegration:
+    def test_run_with_faults_resume_and_journal_cleanup(self, tmp_path, capsys):
+        out = tmp_path / "r.json"
+        argv = [
+            "scenarios",
+            "run",
+            "--scenario",
+            "baseline_seen",
+            "--faults",
+            "none",
+            "dvfs_flaky",
+            "--jobs",
+            "1",
+            "--train-traces-per-app",
+            "1",
+            "--out",
+            str(out),
+        ]
+        assert main(argv) == 0
+        first = out.read_text()
+        output = capsys.readouterr().out
+        # Two cells (control + preset), the faults table, and a clean journal.
+        assert "baseline_seen/nofault" in output
+        assert "baseline_seen/dvfs_flaky" in output
+        assert "recovery" in output
+        assert not (tmp_path / "r.json.journal").exists()
+
+        # Re-running with --resume and no journal just re-runs everything —
+        # and stays byte-identical.
+        assert main(argv + ["--resume"]) == 0
+        assert out.read_text() == first
+
+    def test_help_documents_faults_and_resume(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["scenarios", "run", "--help"])
+        output = capsys.readouterr().out
+        assert "--faults" in output and "--resume" in output
+        with pytest.raises(SystemExit):
+            main(["scenarios", "sweep", "--help"])
+        output = capsys.readouterr().out
+        assert "--faults" in output and "--resume" in output

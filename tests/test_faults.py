@@ -1,0 +1,341 @@
+"""Functional tests for the fault-injection subsystem (``repro.faults``).
+
+Four pillars:
+
+* **Spec layer** — validation at construction, lossless JSON round trips,
+  preset registry, and the ``is_null`` semantics the identity invariant
+  rests on.
+* **Identity invariant** — a zero-rate spec produces bit-identical
+  :class:`SessionResult` objects to no spec at all, on every scheme,
+  including under dynamic thermal state.
+* **Injection seams** — each fault family actually injects through its
+  engine seam (predictor flips through real misprediction recovery, DVFS
+  holds the prior configuration, the sensor corrupts the governor's cap,
+  the event stream is transformed into a still-valid trace) and the
+  ledger obeys ``recovered <= injected``.
+* **Scenario integration** — the fault axis expands/serialises like every
+  other matrix axis, aggregates flow into artefacts and the reporting
+  table, and ``ScenarioResult`` round-trips fault blocks losslessly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.reporting import scenario_faults_table
+from repro.faults import (
+    DvfsFaults,
+    EventStreamFaults,
+    FAULT_PRESETS,
+    FaultInjector,
+    FaultSpec,
+    PredictorFaults,
+    SensorFaults,
+    get_fault_preset,
+    list_fault_presets,
+)
+from repro.hardware.thermal import get_thermal_model
+from repro.runtime.metrics import FaultAggregate, FaultSessionStats
+from repro.runtime.simulator import KNOWN_SCHEMES, SimulationSetup, Simulator
+from repro.scenarios import ScenarioMatrix, ScenarioResult, ScenarioRunner, ScenarioSpec
+
+
+# -- spec layer ---------------------------------------------------------------------
+
+
+class TestFaultSpec:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ValueError, match="flip_rate"):
+            PredictorFaults(flip_rate=1.5)
+        with pytest.raises(ValueError, match="fail_rate"):
+            DvfsFaults(fail_rate=-0.1)
+        with pytest.raises(ValueError, match="drop_rate"):
+            EventStreamFaults(drop_rate=2.0)
+        with pytest.raises(ValueError, match="stuck_rate"):
+            SensorFaults(stuck_rate=1.01)
+
+    def test_magnitudes_must_be_non_negative(self):
+        with pytest.raises(ValueError, match="lag_readings"):
+            SensorFaults(lag_readings=-1)
+        with pytest.raises(ValueError, match="noise_c"):
+            SensorFaults(noise_c=-0.5)
+        with pytest.raises(ValueError, match="jitter_ms"):
+            EventStreamFaults(jitter_ms=-1.0)
+
+    def test_spec_needs_a_name(self):
+        with pytest.raises(ValueError, match="name"):
+            FaultSpec(name="")
+
+    def test_default_spec_is_null(self):
+        assert FaultSpec().is_null
+
+    def test_jitter_needs_rate_and_magnitude(self):
+        # A rate with no magnitude (or vice versa) can never move an arrival.
+        assert EventStreamFaults(jitter_rate=0.5, jitter_ms=0.0).is_null
+        assert EventStreamFaults(jitter_rate=0.0, jitter_ms=40.0).is_null
+        assert not EventStreamFaults(jitter_rate=0.5, jitter_ms=40.0).is_null
+
+    @pytest.mark.parametrize("name", sorted(FAULT_PRESETS))
+    def test_presets_round_trip_through_json(self, name):
+        spec = get_fault_preset(name)
+        assert not spec.is_null
+        payload = json.loads(json.dumps(spec.to_dict()))
+        assert FaultSpec.from_dict(payload) == spec
+
+    def test_from_dict_defaults_missing_blocks(self):
+        spec = FaultSpec.from_dict({"name": "partial", "dvfs": {"fail_rate": 0.3}})
+        assert spec.dvfs.fail_rate == 0.3
+        assert spec.predictor.is_null and spec.sensor.is_null and spec.events.is_null
+
+    def test_preset_registry(self):
+        assert list_fault_presets() == sorted(FAULT_PRESETS)
+        with pytest.raises(KeyError, match="available"):
+            get_fault_preset("does_not_exist")
+
+
+# -- identity invariant -------------------------------------------------------------
+
+
+class TestZeroRateIdentity:
+    def test_null_spec_maps_to_no_injector(self):
+        assert SimulationSetup(faults=None).engine_config().faults is None
+        assert SimulationSetup(faults=FaultSpec()).engine_config().faults is None
+        config = SimulationSetup(faults=get_fault_preset("chaos")).engine_config()
+        assert isinstance(config.faults, FaultInjector)
+
+    @pytest.mark.parametrize("scheme", KNOWN_SCHEMES)
+    def test_zero_rate_spec_is_bit_identical_on_every_scheme(
+        self, scheme, catalog, generator, learner
+    ):
+        # Dynamic thermal state included, so the sensed-temperature path is
+        # part of the identity check too.
+        thermal = get_thermal_model("cramped_chassis")
+        traces = [generator.generate("cnn", seed=77)]
+        results = {}
+        for faults in (None, FaultSpec()):
+            setup = SimulationSetup(thermal=thermal, faults=faults)
+            simulator = Simulator(setup=setup, catalog=catalog)
+            results[faults is None] = simulator.run_scheme(
+                traces, scheme, learner=learner
+            )
+        assert results[True] == results[False]
+        assert all(r.faults is None for r in results[True])
+
+
+# -- injection seams ----------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def fault_trace(generator):
+    return generator.generate("cnn", seed=77)
+
+
+class TestInjectionSeams:
+    def test_dvfs_faults_inject_and_hold(self, catalog, fault_trace):
+        spec = FaultSpec(name="dvfs_always", dvfs=DvfsFaults(fail_rate=1.0))
+        setup = SimulationSetup(faults=spec)
+        simulator = Simulator(setup=setup, catalog=catalog)
+        (result,) = simulator.run_scheme([fault_trace], "Interactive")
+        assert result.faults is not None
+        assert result.faults.dvfs_injected > 0
+        assert 0 <= result.faults.dvfs_recovered <= result.faults.dvfs_injected
+        # Every failed transition charges the attempted switch as penalty.
+        assert result.faults.fault_energy_mj > 0
+
+    def test_predictor_flips_go_through_real_recovery(self, catalog, fault_trace, learner):
+        spec = FaultSpec(name="flip_all", predictor=PredictorFaults(flip_rate=1.0))
+        clean_sim = Simulator(setup=SimulationSetup(), catalog=catalog)
+        faulty_sim = Simulator(setup=SimulationSetup(faults=spec), catalog=catalog)
+        (clean,) = clean_sim.run_scheme([fault_trace], "PES", learner=learner)
+        (faulty,) = faulty_sim.run_scheme([fault_trace], "PES", learner=learner)
+        assert faulty.faults is not None
+        assert faulty.faults.predictor_injected > 0
+        # Squashed speculation shows up as misprediction waste the clean run
+        # never pays; the seam is the real on_mispredict machinery.
+        assert faulty.wasted_energy_mj > clean.wasted_energy_mj
+        assert faulty.faults.fault_energy_mj > 0
+
+    def test_predictor_faults_are_inert_for_reactive_schemes(self, catalog, fault_trace):
+        spec = FaultSpec(name="flip_all", predictor=PredictorFaults(flip_rate=1.0))
+        clean_sim = Simulator(setup=SimulationSetup(), catalog=catalog)
+        faulty_sim = Simulator(setup=SimulationSetup(faults=spec), catalog=catalog)
+        (clean,) = clean_sim.run_scheme([fault_trace], "EBS")
+        (faulty,) = faulty_sim.run_scheme([fault_trace], "EBS")
+        assert faulty.faults is not None
+        assert faulty.faults.predictor_injected == 0
+        # EBS never consults the predictor, so the replay itself is untouched.
+        assert faulty.outcomes == clean.outcomes
+
+    def test_sensor_faults_corrupt_the_governor_reading(self, catalog, generator):
+        from repro.traces.presets import get_regime
+
+        # A bursty session on a cramped chassis heats the package, so a
+        # noisy/lagged sensor keeps disagreeing with the true temperature.
+        regime = get_regime("flash_crowd")
+        hot_generator = type(generator)(
+            catalog=catalog,
+            session=regime.session,
+            workload_params=regime.workload_params,
+        )
+        trace = hot_generator.generate("cnn", seed=500_000)
+        spec = FaultSpec(name="noisy", sensor=SensorFaults(noise_c=10.0, lag_readings=2))
+        setup = SimulationSetup(thermal=get_thermal_model("cramped_chassis"), faults=spec)
+        simulator = Simulator(setup=setup, catalog=catalog)
+        (result,) = simulator.run_scheme([trace], "EBS")
+        assert result.faults is not None
+        assert result.faults.sensor_injected > 0
+        assert 0 <= result.faults.sensor_recovered <= result.faults.sensor_injected
+
+    def test_sensor_faults_inert_without_dynamic_thermal(self, catalog, fault_trace):
+        spec = FaultSpec(name="noisy", sensor=SensorFaults(noise_c=10.0))
+        clean_sim = Simulator(setup=SimulationSetup(), catalog=catalog)
+        faulty_sim = Simulator(setup=SimulationSetup(faults=spec), catalog=catalog)
+        (clean,) = clean_sim.run_scheme([fault_trace], "EBS")
+        (faulty,) = faulty_sim.run_scheme([fault_trace], "EBS")
+        # No live sensor to corrupt: the replay is identical and nothing is
+        # counted as injected.
+        assert faulty.faults is not None
+        assert faulty.faults.sensor_injected == 0
+        assert faulty.outcomes == clean.outcomes
+
+    def test_stream_transform_yields_valid_deterministic_traces(self, fault_trace):
+        spec = get_fault_preset("lossy_events")
+        injector = FaultInjector(spec)
+        first = injector.session(fault_trace, "EBS").transform(fault_trace)
+        second = injector.session(fault_trace, "EBS").transform(fault_trace)
+        # Valid by construction (Trace validates indices and arrival order)
+        # and deterministic for the same (spec, trace, scheme) identity.
+        assert [e.index for e in first.events] == list(range(len(first.events)))
+        assert first.events == second.events
+        other_scheme = injector.session(fault_trace, "PES").transform(fault_trace)
+        assert other_scheme.events != first.events
+
+    def test_stream_faults_change_the_replay(self, catalog, fault_trace):
+        spec = get_fault_preset("lossy_events")
+        clean_sim = Simulator(setup=SimulationSetup(), catalog=catalog)
+        faulty_sim = Simulator(setup=SimulationSetup(faults=spec), catalog=catalog)
+        (clean,) = clean_sim.run_scheme([fault_trace], "EBS")
+        (faulty,) = faulty_sim.run_scheme([fault_trace], "EBS")
+        assert faulty.faults is not None
+        stats = faulty.faults
+        assert stats.events_dropped + stats.events_duplicated + stats.events_jittered > 0
+        assert len(faulty.outcomes) == len(fault_trace.events) - stats.events_dropped + stats.events_duplicated
+
+    @pytest.mark.parametrize("name", sorted(FAULT_PRESETS))
+    def test_every_preset_obeys_recovered_le_injected(self, name, catalog, fault_trace, learner):
+        spec = get_fault_preset(name)
+        setup = SimulationSetup(
+            thermal=get_thermal_model("cramped_chassis"), faults=spec
+        )
+        simulator = Simulator(setup=setup, catalog=catalog)
+        for scheme in ("Interactive", "PES"):
+            (result,) = simulator.run_scheme([fault_trace], scheme, learner=learner)
+            stats = result.faults
+            assert stats is not None
+            assert 0 <= stats.recovered <= stats.injected
+
+
+# -- aggregation and scenario integration -------------------------------------------
+
+
+class TestFaultAggregation:
+    def test_session_stats_sum_into_aggregate(self):
+        from repro.runtime.metrics import StreamingAggregator
+
+        aggregator = StreamingAggregator()
+        assert aggregator.finalize_faults() is None  # no faulted sessions
+
+    def test_aggregate_round_trips(self):
+        aggregate = FaultAggregate(
+            n_sessions=3,
+            predictor_injected=4,
+            predictor_recovered=2,
+            dvfs_injected=5,
+            dvfs_recovered=5,
+            sensor_injected=1,
+            sensor_recovered=0,
+            events_dropped=2,
+            events_duplicated=1,
+            events_jittered=3,
+            stream_recovered=2,
+            fault_energy_mj=12.5,
+            energy_inflation=0.01,
+        )
+        assert FaultAggregate.from_dict(aggregate.to_dict()) == aggregate
+        assert aggregate.injected == 4 + 5 + 1 + 2 + 1 + 3
+        assert aggregate.recovered == 2 + 5 + 0 + 2
+
+    def test_matrix_fault_axis_expands_with_labelled_cells(self):
+        matrix = ScenarioMatrix(
+            name="m",
+            platforms=("exynos5410",),
+            regimes=("default",),
+            app_mixes=("core",),
+            schemes=("Interactive",),
+            fault_specs=(None, get_fault_preset("chaos")),
+        )
+        specs = matrix.expand()
+        assert matrix.n_cells == len(specs) == 2
+        names = [spec.name for spec in specs]
+        assert names == [
+            "exynos5410/default/core/nofault",
+            "exynos5410/default/core/chaos",
+        ]
+        assert specs[0].faults is None
+        assert specs[1].faults == get_fault_preset("chaos")
+        # Matrix serialisation carries the axis...
+        rebuilt = ScenarioMatrix.from_dict(json.loads(json.dumps(matrix.to_dict())))
+        assert rebuilt == matrix
+        # ...but a fault-free matrix keeps its pre-fault byte shape.
+        clean = ScenarioMatrix(
+            name="m",
+            platforms=("exynos5410",),
+            regimes=("default",),
+            app_mixes=("core",),
+            schemes=("Interactive",),
+        )
+        assert "fault_specs" not in clean.to_dict()
+
+    def test_duplicate_fault_labels_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioMatrix(
+                name="m",
+                platforms=("exynos5410",),
+                regimes=("default",),
+                app_mixes=("core",),
+                schemes=("Interactive",),
+                fault_specs=(None, None),
+            )
+
+    def test_scenario_results_carry_and_round_trip_fault_blocks(self):
+        runner = ScenarioRunner(jobs=1)
+        specs = [
+            ScenarioSpec(
+                name="clean", regime="default", apps=("cnn",), schemes=("EBS",)
+            ),
+            ScenarioSpec(
+                name="faulty",
+                regime="default",
+                apps=("cnn",),
+                schemes=("EBS",),
+                faults=get_fault_preset("dvfs_flaky"),
+            ),
+        ]
+        clean, faulty = runner.run(specs)
+        assert clean.aggregates["EBS"].faults is None
+        aggregate = faulty.aggregates["EBS"].faults
+        assert aggregate is not None
+        assert aggregate.injected > 0
+        assert aggregate.energy_inflation >= 0.0
+
+        payload = faulty.to_dict()
+        assert "faults" in payload["schemes"]["EBS"]
+        assert "faults" not in clean.to_dict()["schemes"]["EBS"]
+        rebuilt = ScenarioResult.from_dict(json.loads(json.dumps(payload)))
+        assert rebuilt.to_dict() == payload
+
+        table = scenario_faults_table([clean, faulty])
+        assert "faulty" in table and "recovery" in table
+        assert scenario_faults_table([clean]) == ""

@@ -1,0 +1,168 @@
+"""Harness-hardening tests: worker crashes, stalls, and interrupts.
+
+The parallel evaluator must degrade, never lose work silently:
+
+* a job that raises in a worker comes back as a failure payload, the pool
+  is torn down cleanly, and the job re-runs serially in the parent — the
+  sweep's results stay bit-identical to a serial run (with a
+  ``RuntimeWarning`` naming the recovered jobs),
+* a *deterministic* bug fails again in the parent re-run and surfaces as
+  the original exception — after the pool has been joined, with no leaked
+  worker processes,
+* ``retry_failed_jobs=False`` raises :class:`WorkerJobError` carrying the
+  worker-side traceback,
+* ``job_timeout_s`` is a pool-wide progress watchdog: hung workers are
+  terminated and the undelivered jobs recovered serially,
+* a ``KeyboardInterrupt`` (Ctrl-C) mid-fold terminates and joins the pool
+  before propagating.
+
+The crash-simulation tests monkeypatch ``Simulator.run_scheme`` in the
+parent and rely on ``fork`` workers inheriting the patch; they are skipped
+on platforms whose pool start method is ``spawn`` (workers there re-import
+a clean module).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.runtime.parallel import MatrixSweep, ParallelEvaluator, WorkerJobError
+from repro.runtime.simulator import SimulationSetup, Simulator
+from repro.utils import mp_context
+
+fork_only = pytest.mark.skipif(
+    mp_context().get_start_method() != "fork",
+    reason="crash simulation needs fork workers to inherit the parent's monkeypatch",
+)
+
+
+def _in_worker() -> bool:
+    return multiprocessing.parent_process() is not None
+
+
+@pytest.fixture()
+def small_traces(generator):
+    return [generator.generate("cnn", seed=11), generator.generate("google", seed=12)]
+
+
+@pytest.fixture()
+def serial_results(small_traces):
+    evaluator = ParallelEvaluator(jobs=1)
+    return evaluator.compare(small_traces, ["Interactive", "EBS"])
+
+
+@fork_only
+class TestWorkerCrashRecovery:
+    def test_worker_only_crash_recovers_serially(
+        self, monkeypatch, small_traces, serial_results
+    ):
+        original = Simulator.run_scheme
+
+        def crash_in_workers(self, traces, scheme, **kwargs):
+            if _in_worker():
+                raise RuntimeError("simulated worker crash")
+            return original(self, traces, scheme, **kwargs)
+
+        monkeypatch.setattr(Simulator, "run_scheme", crash_in_workers)
+        evaluator = ParallelEvaluator(jobs=2)
+        with pytest.warns(RuntimeWarning, match="re-running serially"):
+            results = evaluator.compare(small_traces, ["Interactive", "EBS"])
+        # Recovery is invisible in the output: bit-identical to serial.
+        assert results == serial_results
+
+    def test_deterministic_bug_surfaces_original_exception(
+        self, monkeypatch, small_traces
+    ):
+        def always_crash(self, traces, scheme, **kwargs):
+            raise ValueError("deterministic poison job")
+
+        monkeypatch.setattr(Simulator, "run_scheme", always_crash)
+        sweep = MatrixSweep(
+            key="cell",
+            setup=SimulationSetup(),
+            traces=tuple(small_traces),
+            schemes=("Interactive",),
+        )
+        evaluator = ParallelEvaluator(jobs=2)
+        with pytest.warns(RuntimeWarning, match="re-running serially"):
+            with pytest.raises(ValueError, match="deterministic poison job"):
+                evaluator.evaluate_matrix([sweep])
+        # The pool was joined before the exception propagated: no leaked
+        # worker processes.
+        assert multiprocessing.active_children() == []
+
+    def test_retry_disabled_raises_worker_job_error(self, monkeypatch, small_traces):
+        def crash_in_workers(self, traces, scheme, **kwargs):
+            if _in_worker():
+                raise RuntimeError("simulated worker crash")
+            raise AssertionError("parent should not re-run with retries off")
+
+        monkeypatch.setattr(Simulator, "run_scheme", crash_in_workers)
+        evaluator = ParallelEvaluator(jobs=2, retry_failed_jobs=False)
+        with pytest.raises(WorkerJobError, match="simulated worker crash") as excinfo:
+            evaluator.compare(small_traces, ["Interactive", "EBS"])
+        # The worker-side traceback travels with the error.
+        assert "Traceback" in str(excinfo.value)
+        assert multiprocessing.active_children() == []
+
+    def test_stalled_pool_is_terminated_and_recovered(
+        self, monkeypatch, small_traces, serial_results
+    ):
+        original = Simulator.run_scheme
+
+        def hang_in_workers(self, traces, scheme, **kwargs):
+            if _in_worker():
+                time.sleep(600)
+            return original(self, traces, scheme, **kwargs)
+
+        monkeypatch.setattr(Simulator, "run_scheme", hang_in_workers)
+        evaluator = ParallelEvaluator(jobs=2, job_timeout_s=1.0)
+        with pytest.warns(RuntimeWarning, match="re-running serially"):
+            results = evaluator.compare(small_traces, ["Interactive", "EBS"])
+        assert results == serial_results
+        assert multiprocessing.active_children() == []
+
+
+class TestInterruptSafety:
+    def test_keyboard_interrupt_mid_fold_joins_pool(self, small_traces):
+        sweep = MatrixSweep(
+            key="cell",
+            setup=SimulationSetup(),
+            traces=tuple(small_traces),
+            schemes=("Interactive", "EBS"),
+        )
+
+        def interrupt(finished, aggregates):
+            raise KeyboardInterrupt
+
+        evaluator = ParallelEvaluator(jobs=2)
+        with pytest.raises(KeyboardInterrupt):
+            evaluator.evaluate_matrix([sweep], on_sweep_complete=interrupt)
+        # terminate+join ran before the interrupt propagated.
+        assert multiprocessing.active_children() == []
+
+
+class TestSweepCompletionHook:
+    def test_hook_fires_in_matrix_order_with_final_aggregates(self, small_traces):
+        sweeps = [
+            MatrixSweep(
+                key=f"cell{i}",
+                setup=SimulationSetup(),
+                traces=tuple(small_traces),
+                schemes=("Interactive",),
+            )
+            for i in range(3)
+        ]
+        seen: list[tuple[str, object]] = []
+        evaluator = ParallelEvaluator(jobs=2)
+        outcome = evaluator.evaluate_matrix(
+            sweeps, on_sweep_complete=lambda s, a: seen.append((s.key, a))
+        )
+        assert [key for key, _ in seen] == ["cell0", "cell1", "cell2"]
+        # Finalisation is pure over the folded sums: the hook saw exactly
+        # what the end-of-run aggregates report.
+        for key, aggregates in seen:
+            assert aggregates == outcome.aggregates[key]

@@ -1,0 +1,129 @@
+"""Property-based tests (hypothesis) for the fault-injection subsystem.
+
+Pins the three invariants the subsystem is built on, for *arbitrary* valid
+specs rather than just the built-in presets:
+
+* serialisation — every ``FaultSpec`` survives a real ``json.dumps`` /
+  ``json.loads`` round trip losslessly (rates are floats, and JSON float
+  repr round-trips exactly),
+* the identity invariant — any zero-rate spec is ``is_null`` and maps to
+  *no injector at all* in ``SimulationSetup.engine_config``, which is what
+  makes zero-rate and absent specs bit-identical by construction,
+* stream-transform accounting — for any rates, the transformed trace is a
+  valid trace whose event count reconciles exactly with the ledger
+  (kept = original - dropped + duplicated), every per-category count is
+  bounded by the event count, and ``recovered <= injected``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import (
+    DvfsFaults,
+    EventStreamFaults,
+    FaultInjector,
+    FaultSpec,
+    PredictorFaults,
+    SensorFaults,
+)
+from repro.runtime.simulator import SimulationSetup
+from repro.traces.generator import TraceGenerator
+from repro.webapp.apps import AppCatalog
+
+# One real trace shared by every transform example (generation is the
+# expensive part; the transform itself is microseconds).
+_TRACE = TraceGenerator(catalog=AppCatalog()).generate("cnn", seed=7)
+
+# -- strategies ---------------------------------------------------------------------
+
+rates = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("L", "N"), whitelist_characters="_-."),
+    min_size=1,
+    max_size=16,
+)
+
+fault_specs = st.builds(
+    FaultSpec,
+    name=names,
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    predictor=st.builds(PredictorFaults, flip_rate=rates),
+    sensor=st.builds(
+        SensorFaults,
+        stuck_rate=rates,
+        lag_readings=st.integers(min_value=0, max_value=5),
+        noise_c=st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+    ),
+    dvfs=st.builds(DvfsFaults, fail_rate=rates),
+    events=st.builds(
+        EventStreamFaults,
+        drop_rate=rates,
+        duplicate_rate=rates,
+        jitter_rate=rates,
+        jitter_ms=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    ),
+    description=st.text(max_size=30),
+)
+
+
+# -- properties ---------------------------------------------------------------------
+
+
+@given(spec=fault_specs)
+@settings(max_examples=60, deadline=None)
+def test_fault_specs_round_trip_json_losslessly(spec):
+    payload = json.loads(json.dumps(spec.to_dict()))
+    rebuilt = FaultSpec.from_dict(payload)
+    assert rebuilt == spec
+    assert rebuilt.to_dict() == spec.to_dict()
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    name=names,
+    jitter_ms=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+)
+@settings(max_examples=40, deadline=None)
+def test_zero_rate_specs_map_to_no_injector(seed, name, jitter_ms):
+    # jitter_ms without a jitter_rate can never move an arrival, so any
+    # zero-rate spec — whatever its name, seed, or inert magnitudes — is
+    # null and the simulation layer builds no injector at all.
+    spec = FaultSpec(
+        name=name, seed=seed, events=EventStreamFaults(jitter_ms=jitter_ms)
+    )
+    assert spec.is_null
+    assert SimulationSetup(faults=spec).engine_config().faults is None
+
+
+@given(spec=fault_specs)
+@settings(max_examples=60, deadline=None)
+def test_stream_transform_accounting_reconciles(spec):
+    session = FaultInjector(spec).session(_TRACE, "EBS")
+    transformed = session.transform(_TRACE)
+    stats = session.finalize([])
+
+    n = len(_TRACE.events)
+    # Ledger reconciliation: every original event was kept or dropped, and
+    # every extra event is a recorded duplicate.
+    assert len(transformed.events) == n - stats.events_dropped + stats.events_duplicated
+    assert 0 <= stats.events_dropped <= n
+    assert 0 <= stats.events_duplicated <= n - stats.events_dropped
+    assert 0 <= stats.events_jittered <= n - stats.events_dropped
+    # Valid trace by construction: consecutive indices, sorted arrivals
+    # (Trace.__init__ validates arrivals; indices checked explicitly).
+    assert [e.index for e in transformed.events] == list(range(len(transformed.events)))
+    # With no outcomes nothing can have recovered, and the global bound holds.
+    assert stats.recovered == 0
+    assert stats.recovered <= stats.injected
+
+
+@given(spec=fault_specs)
+@settings(max_examples=30, deadline=None)
+def test_stream_transform_is_deterministic_per_identity(spec):
+    injector = FaultInjector(spec)
+    first = injector.session(_TRACE, "EBS").transform(_TRACE)
+    second = injector.session(_TRACE, "EBS").transform(_TRACE)
+    assert first.events == second.events
