@@ -1,0 +1,32 @@
+"""Perf bench: wall-clock of a bounded adversarial fault search.
+
+Marked ``perf`` and deselected from the default pytest run; writes
+``results/BENCH_fault_search.json`` (uploaded by the non-blocking CI perf
+job alongside the other BENCH artifacts).  The assertions guard that the
+search still *works* — the best candidate must beat the fault-free
+baseline on the recovery_collapse objective and stay within the fault
+budget — while wall-clock itself is recorded, not asserted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import bench_fault_search, write_bench_json
+
+
+@pytest.mark.perf
+def test_perf_fault_search():
+    result = bench_fault_search()
+    path = write_bench_json(result)
+    assert path.exists()
+    assert result.ops_per_sec > 0
+    assert result.extra is not None
+    assert result.extra["target"] == "recovery_collapse"
+    # The baseline is fault-free, so its unrecovered fraction is 0; any
+    # candidate that injects at all scores higher.  A best score of 0 means
+    # the search evaluated nothing but no-op specs — it is timing a no-op.
+    assert result.extra["best_score"] > result.extra["baseline_score"]
+    # Budget re-scaling must actually constrain the winner.
+    assert result.extra["best_cost"] <= result.extra["budget"] + 1e-9
+    assert result.extra["best_spec"] is not None

@@ -24,7 +24,7 @@ def test_perf_fault_injection():
     assert result.extra is not None
     assert result.extra["matrix"] == "fault_sweep"
     # fault presets + the fault-free control column
-    assert result.extra["n_scenarios"] == 5
+    assert result.extra["n_scenarios"] == 6
     assert result.ops_per_sec > 0
 
     injection = result.extra["injection"]

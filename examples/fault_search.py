@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Adversarial fault search: find the spec that hurts the most per budget.
+
+PR 6 made wrongness a swept axis — named fault presets crossed into the
+scenario matrix.  The search driver (``repro.faults.search``) makes it an
+*optimised* one: random init + hill-climb over the fault-spec knobs (the
+per-reading rates, the Gilbert-Elliott burst shape they share, and the
+battery-rail magnitudes) under a **fault budget** — the summed stationary
+effective rate mass, so a bursty 5% rate honestly costs more than a flat
+one.  This example:
+
+1. runs a small search on the ``recovery_collapse`` target (maximise the
+   fraction of injected faults the schemes fail to absorb) and prints the
+   winning spec's knobs,
+2. repeats the search at increasing fault budgets and plots (in text) the
+   **degradation frontier** — the worst achievable score as a function of
+   how much fault mass the adversary is allowed to spend,
+3. shows the journal-backed resumability contract: the same search with a
+   warm shard journal re-simulates nothing.
+
+Usage:
+    python examples/fault_search.py [budget_evals]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.faults.search import run_search
+from repro.scenarios import ScenarioRunner
+from repro.scenarios.checkpoint import ShardJournal
+
+
+def _bar(value: float, scale: float = 50.0) -> str:
+    return "#" * max(1, round(value * scale))
+
+
+def search_once(runner: ScenarioRunner, budget_evals: int) -> None:
+    print("=== adversarial search: recovery_collapse, budget 0.6 ===")
+    report = run_search(
+        "recovery_collapse",
+        budget_evals=budget_evals,
+        seed=7,
+        runner=runner,
+        progress=lambda message: print(f"  {message}"),
+    )
+    best = report["best"]
+    print(f"\nworst case found: {best['name']}  score {best['score']:.3f} "
+          f"(cost {best['cost']:.3f}/{report['budget']})")
+    print("knobs of the winning spec:")
+    for category, block in best["spec"].items():
+        if isinstance(block, dict):
+            knobs = ", ".join(
+                f"{key}={value:.3f}" if isinstance(value, float) else f"{key}={value}"
+                for key, value in block.items()
+                if not isinstance(value, dict)
+            )
+            print(f"  {category:<10} {knobs}")
+
+
+def degradation_frontier(runner: ScenarioRunner, budget_evals: int) -> None:
+    print("\n=== degradation frontier: worst score vs fault budget ===")
+    print("(how much damage can an adversary do per unit of fault mass?)\n")
+    for budget in (0.1, 0.2, 0.4, 0.8):
+        report = run_search(
+            "recovery_collapse",
+            budget=budget,
+            budget_evals=budget_evals,
+            seed=7,
+            runner=runner,
+        )
+        score = report["best"]["score"]
+        unrecovered = sum(
+            summary["injected"] - summary["recovered"]
+            for summary in report["best"]["metrics"].values()
+        )
+        print(
+            f"  budget {budget:>4.1f}  unrecovered {score * 100:5.1f}% "
+            f"({unrecovered:>4.0f} faults)  {_bar(score)}"
+        )
+    print("\nThe *fraction* unrecovered does not grow with budget — a tiny")
+    print("budget spent purely on unrecoverable seams already collapses the")
+    print("rate — but the *absolute* number of unabsorbed faults does: more")
+    print("fault mass means more damage, even as the ratio saturates.")
+
+
+def warm_resume(runner: ScenarioRunner, budget_evals: int) -> None:
+    print("\n=== shard-journal resume: a finished search replays for free ===")
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = ShardJournal(Path(tmp) / "search.journal")
+        run_search(
+            "recovery_collapse", budget_evals=budget_evals, seed=7,
+            runner=runner, journal=journal,
+        )
+        # Second run resumes from the complete journal: every shard and
+        # candidate summary is served from disk, byte-identical.
+        report = run_search(
+            "recovery_collapse", budget_evals=budget_evals, seed=7,
+            runner=runner, journal=journal, resume=True,
+        )
+        print(f"  resumed search log: {len(report['candidates'])} candidates, "
+              f"best {report['best']['score']:.3f} — no shard re-simulated")
+
+
+def main() -> int:
+    budget_evals = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    runner = ScenarioRunner(jobs=1)
+    search_once(runner, budget_evals)
+    degradation_frontier(runner, budget_evals)
+    warm_resume(runner, budget_evals)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -227,6 +227,8 @@ def scenario_faults_table(results: Sequence) -> str:
                     scheme,
                     faults.injected,
                     faults.recovered,
+                    faults.battery_injected,
+                    faults.battery_recovered,
                     format_percentage(faults.recovery_rate),
                     format_percentage(faults.energy_inflation),
                 ]
@@ -234,7 +236,16 @@ def scenario_faults_table(results: Sequence) -> str:
     if not table_rows:
         return ""
     return format_table(
-        ["scenario", "scheme", "injected", "recovered", "recovery", "energy infl."],
+        [
+            "scenario",
+            "scheme",
+            "injected",
+            "recovered",
+            "battery inj.",
+            "battery rec.",
+            "recovery",
+            "energy infl.",
+        ],
         table_rows,
         min_width=8,
     )

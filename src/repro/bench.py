@@ -501,6 +501,41 @@ def bench_faults(jobs: int = 2, quick: bool = False) -> BenchResult:
     )
 
 
+def bench_fault_search(quick: bool = False) -> BenchResult:
+    """Wall-clock of a bounded adversarial fault search (ops = candidate evals).
+
+    Runs :func:`repro.faults.search.run_search` on the ``recovery_collapse``
+    target — the cheapest objective (no learner training) — for a fixed
+    handful of candidates, exercising per-candidate trace replay, the
+    Gilbert–Elliott burst chains, the battery seam, and the hill-climb
+    budget-rescaling loop.  The extra payload records the best score and
+    spec so the trajectory tracks whether the search still *finds*
+    anything, not just how fast it evaluates.
+    """
+    from repro.faults.search import run_search
+
+    evals = 2 if quick else 8
+    start = time.perf_counter()
+    report = run_search("recovery_collapse", budget_evals=evals, seed=BENCH_SEED)
+    elapsed = time.perf_counter() - start
+    return BenchResult(
+        name="fault_search",
+        ops_per_sec=evals / elapsed,
+        wall_s=elapsed,
+        git_rev=git_rev(),
+        extra={
+            "target": report["target"],
+            "scenario": report["scenario"],
+            "budget": report["budget"],
+            "budget_evals": evals,
+            "baseline_score": report["baseline"]["score"],
+            "best_score": report["best"]["score"],
+            "best_cost": report["best"]["cost"],
+            "best_spec": report["best"]["spec"],
+        },
+    )
+
+
 #: Bench name -> factory taking the shared (jobs, quick) knobs.
 BENCHES = {
     "solver": lambda jobs, quick: bench_solver(min_duration_s=0.2 if quick else 3.0),
@@ -514,6 +549,7 @@ BENCHES = {
     "sweep": lambda jobs, quick: bench_sweep(jobs=jobs, quick=quick),
     "thermal": lambda jobs, quick: bench_thermal(jobs=jobs, quick=quick),
     "faults": lambda jobs, quick: bench_faults(jobs=jobs, quick=quick),
+    "fault_search": lambda jobs, quick: bench_fault_search(quick=quick),
 }
 
 

@@ -1,6 +1,6 @@
 """Command-line interface for the PES reproduction.
 
-Six subcommands cover the whole workflow:
+Seven subcommands cover the whole workflow:
 
 * ``generate``  — synthesise interaction traces and save them to JSON,
 * ``train``     — train the event predictor and report Fig. 8 accuracy,
@@ -11,6 +11,11 @@ Six subcommands cover the whole workflow:
   little-cluster ``perf_scale``, thermal throttling curves) into derived
   systems and writes ``results/SCENARIOS_sweep_*.json``,
 * ``platforms`` — list the available hardware platform models,
+* ``faults``    — list fault presets and search targets, or run the
+  adversarial fault search (``faults search``): hill-climb FaultSpec
+  knobs (rates, Gilbert-Elliott burst shape, battery-rail magnitudes)
+  under a fault-budget constraint toward a degradation target, shard-
+  journaled so a killed search resumes byte-identically (``--resume``),
 * ``bench``     — run the perf-regression benches (writes ``BENCH_*.json``).
 
 Thermal curves apply in one of two modes (``--thermal-mode`` on
@@ -26,10 +31,12 @@ session spent under an engaged cap), and ``throttle slowdown`` (relative
 latency inflation of throttle-planned events).
 
 Fault injection (``--faults`` on ``scenarios run``/``sweep``) crosses the
-named :data:`~repro.faults.FAULT_PRESETS` (plus ``none`` for a fault-free
-control column) into the scenario axes: each cell replays with seeded
-predictor/sensor/DVFS/event-stream faults and reports injected/recovered
-counts, recovery rate, and energy inflation per scenario x scheme.  Long
+named :data:`~repro.faults.FAULT_PRESETS`, ``none`` for a fault-free
+control column, and/or paths to FaultSpec JSON files (e.g. a worst case
+exported by ``faults search``) into the scenario axes: each cell replays
+with seeded predictor/sensor/DVFS/event-stream/battery faults and reports
+injected/recovered counts (battery separately), recovery rate, and energy
+inflation per scenario x scheme.  Long
 matrix runs checkpoint each finished scenario to a ``<out>.journal``
 sidecar; after a crash or Ctrl-C, ``--resume`` skips the journaled cells
 and the final artefact is byte-identical to an uninterrupted run.
@@ -45,7 +52,9 @@ Examples::
     python -m repro scenarios run --matrix full --jobs 0 --resume
     python -m repro scenarios sweep --thermal none cramped_chassis --thermal-mode dynamic
     python -m repro scenarios sweep --faults none chaos --schemes Interactive EBS PES
-    python -m repro bench --only thermal faults
+    python -m repro faults search --target pes_regression --budget-evals 24
+    python -m repro faults search --target recovery_collapse --resume
+    python -m repro bench --only thermal faults fault_search
 
 ``evaluate``, ``scenarios run``/``sweep``, and ``bench`` take ``--jobs N``
 to fan the (scheme x trace) replays out over N worker processes
@@ -187,10 +196,13 @@ def _build_parser() -> argparse.ArgumentParser:
             "--faults",
             nargs="+",
             default=None,
-            choices=["none"] + list_fault_presets(),
-            help="fault presets to cross into the matrix ('none' = a fault-free "
-            "control cell); each preset replays every cell with seeded "
-            "predictor/sensor/DVFS/event-stream faults",
+            metavar="PRESET|FILE",
+            help="fault specs to cross into the matrix: preset names "
+            f"({', '.join(list_fault_presets())}), 'none' for a fault-free "
+            "control cell, or paths to FaultSpec JSON files (e.g. the "
+            "'best.spec' of a 'faults search' artefact); each spec replays "
+            "every cell with seeded predictor/sensor/DVFS/event-stream/"
+            "battery faults",
         )
         sub_parser.add_argument(
             "--resume",
@@ -283,6 +295,80 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("platforms", help="list the available hardware platform models")
 
+    from repro.faults.search import list_search_targets
+
+    faults = sub.add_parser(
+        "faults", help="list fault presets / search for adversarial fault specs"
+    )
+    fault_action = faults.add_subparsers(dest="action", required=True)
+
+    faults_list = fault_action.add_parser(
+        "list", help="list the named fault presets and search targets"
+    )
+    del faults_list  # no arguments
+
+    faults_search = fault_action.add_parser(
+        "search",
+        help="hill-climb FaultSpec knobs toward a degradation target",
+        description="Adversarial fault search: random init + hill-climb over "
+        "fault rates, burst-model shape (Gilbert-Elliott enter/exit/"
+        "multiplier), and battery-rail magnitudes, under a fault-budget "
+        "constraint (total stationary effective rate mass), maximising the "
+        "chosen degradation target.  Every candidate is journaled per "
+        "(scheme, trace) shard to <out>.journal; a killed search re-run with "
+        "--resume skips finished shards and produces a byte-identical "
+        "artefact.",
+    )
+    faults_search.add_argument(
+        "--target",
+        default="pes_regression",
+        choices=list_search_targets(),
+        help="degradation objective to maximise: pes_regression (PES energy "
+        "vs EBS), recovery_collapse (unrecovered fault fraction), "
+        "throttle_inflation (throttle-induced latency slowdown; needs a "
+        "live-thermal scenario) (default: pes_regression)",
+    )
+    faults_search.add_argument(
+        "--scenario",
+        default=None,
+        help="base scenario to attack (default: the target's own choice)",
+    )
+    faults_search.add_argument(
+        "--schemes",
+        nargs="+",
+        default=None,
+        choices=["Interactive", "Ondemand", "EBS", "PES", "Oracle"],
+        help="schemes to replay per candidate (default: the target's own)",
+    )
+    faults_search.add_argument(
+        "--budget",
+        type=float,
+        default=0.6,
+        help="fault budget: max summed stationary effective rate mass over "
+        "all per-reading fault rates; candidates over budget are scaled "
+        "back onto it (default: 0.6)",
+    )
+    faults_search.add_argument(
+        "--budget-evals",
+        type=_positive_int,
+        default=24,
+        help="number of candidate FaultSpecs to evaluate (default: 24)",
+    )
+    faults_search.add_argument("--seed", type=int, default=0, help="search seed")
+    faults_search.add_argument(
+        "--out",
+        default=None,
+        help="output JSON path (default: results/FAULT_SEARCH_<target>.json); "
+        "the shard journal checkpoints to <out>.journal",
+    )
+    faults_search.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from <out>.journal: finished shards and candidates are "
+        "not re-simulated, and the resumed journal and artefact are "
+        "byte-identical to an uninterrupted run's",
+    )
+
     bench = sub.add_parser("bench", help="run the perf-regression benches")
     bench.add_argument(
         "--results-dir", default=None, help="directory for BENCH_*.json (default: results/)"
@@ -297,7 +383,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--only",
         nargs="+",
         default=None,
-        choices=["solver", "compare", "parallel", "scenarios", "sweep", "thermal", "faults"],
+        choices=[
+            "solver",
+            "compare",
+            "parallel",
+            "scenarios",
+            "sweep",
+            "thermal",
+            "faults",
+            "fault_search",
+        ],
         help="run only these benches",
     )
     bench.add_argument(
@@ -398,13 +493,64 @@ def _sweep_axis(values: Sequence | None) -> tuple:
     )
 
 
+def _load_fault_spec_file(path: str):
+    """Parse one ``--faults`` file argument, failing with the file named.
+
+    Anything that goes wrong — unreadable file, invalid JSON, a payload
+    :meth:`~repro.faults.FaultSpec.from_dict` rejects — surfaces as a
+    usage error that names the offending file, not a traceback.
+    """
+    import json
+
+    from repro.faults import FaultSpec
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise SystemExit(
+            f"--faults: {path!r} is neither a fault preset nor a readable file "
+            f"({exc.strerror or exc})"
+        ) from None
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"--faults: {path!r} is not valid JSON ({exc})") from None
+    # from_dict is deliberately lenient (old artefacts omit newer keys), so
+    # a shape check catches files that are valid JSON but not FaultSpecs at
+    # all — those must not silently become a fault-free spec.
+    categories = ("predictor", "sensor", "dvfs", "events", "battery")
+    if not isinstance(payload, dict) or not any(key in payload for key in categories):
+        raise SystemExit(
+            f"--faults: {path!r} is not a valid FaultSpec payload (expected a "
+            f"JSON object with at least one of: {', '.join(categories)})"
+        )
+    try:
+        return FaultSpec.from_dict(payload)
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise SystemExit(
+            f"--faults: {path!r} is not a valid FaultSpec payload "
+            f"({exc.args[0] if exc.args else exc})"
+        ) from None
+
+
 def _fault_axis(names: Sequence[str] | None):
-    """``--faults`` values -> a ``fault_specs`` axis (``'none'`` -> no faults)."""
+    """``--faults`` values -> a ``fault_specs`` axis.
+
+    Each value is ``'none'`` (a fault-free control cell), a preset name,
+    or — when it names neither — a path to a FaultSpec JSON file.
+    """
     if names is None:
         return None
-    from repro.faults import get_fault_preset
+    from repro.faults import FAULT_PRESETS, get_fault_preset
 
-    return tuple(None if name == "none" else get_fault_preset(name) for name in names)
+    axis = []
+    for name in names:
+        if name == "none":
+            axis.append(None)
+        elif name in FAULT_PRESETS:
+            axis.append(get_fault_preset(name))
+        else:
+            axis.append(_load_fault_spec_file(name))
+    return tuple(axis)
 
 
 def _cmd_scenarios(args: argparse.Namespace) -> int:
@@ -660,6 +806,59 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.faults import FAULT_PRESETS
+    from repro.faults.search import SEARCH_TARGETS, run_search
+    from repro.scenarios.checkpoint import ShardJournal
+
+    if args.action == "list":
+        print("fault presets:")
+        for name, preset in FAULT_PRESETS.items():
+            print(f"  {name:<18} — {preset.description}")
+        print("search targets:")
+        for name, target in SEARCH_TARGETS.items():
+            print(
+                f"  {name:<18} — {target.description} "
+                f"(scenario {target.scenario}, schemes {','.join(target.schemes)})"
+            )
+        return 0
+
+    # search
+    from repro.bench import _default_results_dir
+
+    out = Path(args.out) if args.out is not None else (
+        _default_results_dir() / f"FAULT_SEARCH_{args.target}.json"
+    )
+    journal = ShardJournal(Path(str(out) + ".journal"))
+    report = run_search(
+        args.target,
+        scenario=args.scenario,
+        schemes=args.schemes,
+        budget=args.budget,
+        budget_evals=args.budget_evals,
+        seed=args.seed,
+        journal=journal,
+        resume=args.resume,
+        progress=print,
+    )
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    journal.clear()
+    best = report["best"]
+    print(
+        f"best candidate {best['name']}: score {best['score']:.4f} "
+        f"(baseline {report['baseline']['score']:.4f}, fault budget "
+        f"{best['cost']:.3f}/{report['budget']})"
+    )
+    print(f"wrote search log ({len(report['candidates'])} candidates) to {out}")
+    return 0
+
+
 def _cmd_platforms(_: argparse.Namespace) -> int:
     for name in list_platforms():
         system = get_platform(name)
@@ -680,6 +879,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "evaluate": _cmd_evaluate,
         "scenarios": _cmd_scenarios,
         "platforms": _cmd_platforms,
+        "faults": _cmd_faults,
         "bench": _cmd_bench,
     }
     return handlers[args.command](args)

@@ -1,14 +1,19 @@
 """Seeded fault injection for resilience evaluation.
 
 Declarative :class:`FaultSpec` bundles (predictor / thermal-sensor / DVFS /
-event-stream fault models) plus the :class:`FaultInjector` runtime that
-threads them through the engines.  See :mod:`repro.faults.spec` for the
-model semantics and the zero-rate identity invariant.
+event-stream / battery fault models, each optionally modulated by a
+Gilbert–Elliott :class:`BurstModel`) plus the :class:`FaultInjector`
+runtime that threads them through the engines, and the adversarial
+fault-search driver in :mod:`repro.faults.search`.  See
+:mod:`repro.faults.spec` for the model semantics and the zero-rate
+identity invariant.
 """
 
-from repro.faults.injector import FaultInjector, SessionFaultState
+from repro.faults.injector import BatteryEffect, FaultInjector, SessionFaultState
 from repro.faults.spec import (
     FAULT_PRESETS,
+    BatteryFaults,
+    BurstModel,
     DvfsFaults,
     EventStreamFaults,
     FaultSpec,
@@ -19,6 +24,9 @@ from repro.faults.spec import (
 )
 
 __all__ = [
+    "BatteryEffect",
+    "BatteryFaults",
+    "BurstModel",
     "DvfsFaults",
     "EventStreamFaults",
     "FAULT_PRESETS",

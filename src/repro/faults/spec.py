@@ -7,7 +7,7 @@ wrongness a *swept axis*: a named, JSON-round-tripping bundle of seeded
 fault models that the scenario machinery cross-products like any other
 axis (``ScenarioMatrix.fault_specs``, ``scenarios run --faults``).
 
-Four fault models, one per seam the engines expose:
+Five fault models, one per seam the engines expose:
 
 * :class:`PredictorFaults` — flip validated MATCH verdicts to
   mispredictions at a configurable rate, stressing PES's EBS-fallback
@@ -19,7 +19,18 @@ Four fault models, one per seam the engines expose:
   the hardware keeps the prior configuration and the attempted switch
   latency is charged as pure penalty,
 * :class:`EventStreamFaults` — dropped/duplicated/jittered events in the
-  session replay itself.
+  session replay itself,
+* :class:`BatteryFaults` — power-rail trouble: voltage sag inflating the
+  effective power draw, brown-outs forcing the lowest DVFS rung for a
+  dwell, and fuel-gauge misreports that cap planning at the
+  ``low_battery`` regime's ladder.
+
+Real failures are *bursty* — a flaky sensor is flaky for a stretch, a
+sagging rail sags for whole phases — so every per-reading rate can carry
+an optional two-state Gilbert–Elliott :class:`BurstModel`: a per-session
+Markov chain that multiplies the category's rates by ``burst_multiplier``
+while in the burst state.  A model that can never enter the burst state
+(``enter_rate == 0``) draws nothing and is bit-identical to no model.
 
 Everything is data: validation happens at construction (mirroring
 :class:`~repro.scenarios.spec.ScenarioSpec`), rates are probabilities in
@@ -42,6 +53,87 @@ def _check_rate(owner: str, name: str, value: float) -> None:
 
 
 @dataclass(frozen=True)
+class BurstModel:
+    """Two-state Gilbert–Elliott modulation of a fault category's rates.
+
+    A per-session Markov chain over {normal, burst}: from normal the chain
+    enters the burst state with probability ``enter_rate`` per opportunity
+    (one opportunity per reading/event the category faces), and leaves it
+    with probability ``exit_rate``.  While in the burst state every rate in
+    the owning category is multiplied by ``burst_multiplier`` (clamped to a
+    probability), so faults arrive in correlated stretches whose expected
+    length is ``1 / exit_rate`` opportunities and whose stationary
+    occupancy is ``enter_rate / (enter_rate + exit_rate)``.
+
+    The identity invariant extends to the chain itself: a model with
+    ``enter_rate == 0`` can never leave the normal state, so no chain draw
+    is ever made and behaviour is bit-identical to having no model.
+    """
+
+    enter_rate: float = 0.0
+    exit_rate: float = 1.0
+    burst_multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_rate("burst", "enter_rate", self.enter_rate)
+        _check_rate("burst", "exit_rate", self.exit_rate)
+        if self.burst_multiplier < 0.0:
+            raise ValueError(
+                f"burst.burst_multiplier must be non-negative, got {self.burst_multiplier}"
+            )
+
+    @property
+    def is_null(self) -> bool:
+        """True when the chain can never engage (no draws, no effect)."""
+        return self.enter_rate == 0.0 or self.burst_multiplier == 1.0
+
+    @property
+    def occupancy(self) -> float:
+        """Stationary probability of the burst state."""
+        denominator = self.enter_rate + self.exit_rate
+        return self.enter_rate / denominator if denominator else 0.0
+
+    def effective_rate(self, base_rate: float) -> float:
+        """Stationary expected per-opportunity fault probability.
+
+        Weighs the normal-state rate and the (clamped) burst-state rate by
+        the chain's stationary occupancy — the honest "rate mass" a bursty
+        category spends, used by the fault-search budget.
+        """
+        occupancy = self.occupancy
+        burst_rate = min(1.0, base_rate * self.burst_multiplier)
+        return (1.0 - occupancy) * base_rate + occupancy * burst_rate
+
+    def to_dict(self) -> dict:
+        return {
+            "enter_rate": self.enter_rate,
+            "exit_rate": self.exit_rate,
+            "burst_multiplier": self.burst_multiplier,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BurstModel":
+        return cls(
+            enter_rate=float(payload.get("enter_rate", 0.0)),
+            exit_rate=float(payload.get("exit_rate", 1.0)),
+            burst_multiplier=float(payload.get("burst_multiplier", 1.0)),
+        )
+
+
+def _optional_burst(payload: dict) -> BurstModel | None:
+    burst = payload.get("burst")
+    return None if burst is None else BurstModel.from_dict(burst)
+
+
+def _with_burst(payload: dict, burst: BurstModel | None) -> dict:
+    # The "burst" key is emitted only when a model is present, so burst-free
+    # specs keep the exact payload bytes they had before the model existed.
+    if burst is not None:
+        payload["burst"] = burst.to_dict()
+    return payload
+
+
+@dataclass(frozen=True)
 class PredictorFaults:
     """Force validated predictions wrong at a configurable rate.
 
@@ -54,12 +146,14 @@ class PredictorFaults:
     """
 
     flip_rate: float = 0.0
+    burst: BurstModel | None = None
 
     def __post_init__(self) -> None:
         _check_rate("predictor", "flip_rate", self.flip_rate)
 
     @property
     def is_null(self) -> bool:
+        # A burst model only multiplies the rate, so zero rate stays null.
         return self.flip_rate == 0.0
 
 
@@ -81,6 +175,7 @@ class SensorFaults:
     stuck_rate: float = 0.0
     lag_readings: int = 0
     noise_c: float = 0.0
+    burst: BurstModel | None = None
 
     def __post_init__(self) -> None:
         _check_rate("sensor", "stuck_rate", self.stuck_rate)
@@ -107,6 +202,7 @@ class DvfsFaults:
     """
 
     fail_rate: float = 0.0
+    burst: BurstModel | None = None
 
     def __post_init__(self) -> None:
         _check_rate("dvfs", "fail_rate", self.fail_rate)
@@ -132,6 +228,7 @@ class EventStreamFaults:
     duplicate_rate: float = 0.0
     jitter_rate: float = 0.0
     jitter_ms: float = 0.0
+    burst: BurstModel | None = None
 
     def __post_init__(self) -> None:
         _check_rate("events", "drop_rate", self.drop_rate)
@@ -147,6 +244,64 @@ class EventStreamFaults:
             self.drop_rate == 0.0
             and self.duplicate_rate == 0.0
             and (self.jitter_rate == 0.0 or self.jitter_ms == 0.0)
+        )
+
+
+@dataclass(frozen=True)
+class BatteryFaults:
+    """Power-rail and fuel-gauge trouble, drawn once per executed event.
+
+    Three sub-channels, in fixed draw order:
+
+    * ``sag_rate`` — the rail sags for this event: every joule the event
+      burns is scaled by ``sag_power_scale`` (≥ 1, the I²R/converter loss
+      of running below nominal voltage); the extra energy is attributed to
+      the fault ledger,
+    * ``brownout_rate`` — a brown-out forces the event (and every event
+      starting within the next ``brownout_dwell_ms``) onto the platform's
+      lowest DVFS rung, overriding whatever the scheduler planned; no
+      further brown-out draws are made while the dwell holds, so a dwell
+      consumes no extra randomness,
+    * ``misreport_rate`` — the fuel gauge reads critically low: reactive
+      planning for this event is capped at ``misreport_cap_mhz`` (default
+      1100 MHz, the ``low_battery`` regime's ladder).  Already-committed
+      speculative frames and oracle chunk plans are past planning, so a
+      misreport there draws but changes nothing.
+    """
+
+    sag_rate: float = 0.0
+    sag_power_scale: float = 1.0
+    brownout_rate: float = 0.0
+    brownout_dwell_ms: float = 0.0
+    misreport_rate: float = 0.0
+    misreport_cap_mhz: int = 1_100
+    burst: BurstModel | None = None
+
+    def __post_init__(self) -> None:
+        _check_rate("battery", "sag_rate", self.sag_rate)
+        _check_rate("battery", "brownout_rate", self.brownout_rate)
+        _check_rate("battery", "misreport_rate", self.misreport_rate)
+        if self.sag_power_scale < 1.0:
+            raise ValueError(
+                f"battery.sag_power_scale must be >= 1 (a sag never saves energy), "
+                f"got {self.sag_power_scale}"
+            )
+        if self.brownout_dwell_ms < 0.0:
+            raise ValueError(
+                f"battery.brownout_dwell_ms must be non-negative, got {self.brownout_dwell_ms}"
+            )
+        if self.misreport_cap_mhz <= 0:
+            raise ValueError(
+                f"battery.misreport_cap_mhz must be positive, got {self.misreport_cap_mhz}"
+            )
+
+    @property
+    def is_null(self) -> bool:
+        # A sag needs both a rate and a scale above 1 to do anything.
+        return (
+            (self.sag_rate == 0.0 or self.sag_power_scale == 1.0)
+            and self.brownout_rate == 0.0
+            and self.misreport_rate == 0.0
         )
 
 
@@ -167,6 +322,7 @@ class FaultSpec:
     sensor: SensorFaults = field(default_factory=SensorFaults)
     dvfs: DvfsFaults = field(default_factory=DvfsFaults)
     events: EventStreamFaults = field(default_factory=EventStreamFaults)
+    battery: BatteryFaults = field(default_factory=BatteryFaults)
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -186,29 +342,56 @@ class FaultSpec:
             and self.sensor.is_null
             and self.dvfs.is_null
             and self.events.is_null
+            and self.battery.is_null
         )
 
     # -- serialisation ----------------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        # "burst" and "battery" are emitted only when present/non-default, so
+        # payloads for specs PR 6 could express keep their exact byte shape
+        # (journals and artefacts match specs by serialised content).
+        payload = {
             "name": self.name,
             "seed": self.seed,
-            "predictor": {"flip_rate": self.predictor.flip_rate},
-            "sensor": {
-                "stuck_rate": self.sensor.stuck_rate,
-                "lag_readings": self.sensor.lag_readings,
-                "noise_c": self.sensor.noise_c,
-            },
-            "dvfs": {"fail_rate": self.dvfs.fail_rate},
-            "events": {
-                "drop_rate": self.events.drop_rate,
-                "duplicate_rate": self.events.duplicate_rate,
-                "jitter_rate": self.events.jitter_rate,
-                "jitter_ms": self.events.jitter_ms,
-            },
-            "description": self.description,
+            "predictor": _with_burst(
+                {"flip_rate": self.predictor.flip_rate}, self.predictor.burst
+            ),
+            "sensor": _with_burst(
+                {
+                    "stuck_rate": self.sensor.stuck_rate,
+                    "lag_readings": self.sensor.lag_readings,
+                    "noise_c": self.sensor.noise_c,
+                },
+                self.sensor.burst,
+            ),
+            "dvfs": _with_burst({"fail_rate": self.dvfs.fail_rate}, self.dvfs.burst),
+            "events": _with_burst(
+                {
+                    "drop_rate": self.events.drop_rate,
+                    "duplicate_rate": self.events.duplicate_rate,
+                    "jitter_rate": self.events.jitter_rate,
+                    "jitter_ms": self.events.jitter_ms,
+                },
+                self.events.burst,
+            ),
         }
+        # Compared against the default, not is_null: a null-but-non-default
+        # battery block (say a sag_rate with scale 1.0) must still round-trip.
+        if self.battery != BatteryFaults():
+            payload["battery"] = _with_burst(
+                {
+                    "sag_rate": self.battery.sag_rate,
+                    "sag_power_scale": self.battery.sag_power_scale,
+                    "brownout_rate": self.battery.brownout_rate,
+                    "brownout_dwell_ms": self.battery.brownout_dwell_ms,
+                    "misreport_rate": self.battery.misreport_rate,
+                    "misreport_cap_mhz": self.battery.misreport_cap_mhz,
+                },
+                self.battery.burst,
+            )
+        payload["description"] = self.description
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "FaultSpec":
@@ -216,24 +399,85 @@ class FaultSpec:
         sensor = payload.get("sensor", {})
         dvfs = payload.get("dvfs", {})
         events = payload.get("events", {})
+        battery = payload.get("battery", {})
         return cls(
             name=payload.get("name", "faults"),
             seed=int(payload.get("seed", 0)),
-            predictor=PredictorFaults(flip_rate=float(predictor.get("flip_rate", 0.0))),
+            predictor=PredictorFaults(
+                flip_rate=float(predictor.get("flip_rate", 0.0)),
+                burst=_optional_burst(predictor),
+            ),
             sensor=SensorFaults(
                 stuck_rate=float(sensor.get("stuck_rate", 0.0)),
                 lag_readings=int(sensor.get("lag_readings", 0)),
                 noise_c=float(sensor.get("noise_c", 0.0)),
+                burst=_optional_burst(sensor),
             ),
-            dvfs=DvfsFaults(fail_rate=float(dvfs.get("fail_rate", 0.0))),
+            dvfs=DvfsFaults(
+                fail_rate=float(dvfs.get("fail_rate", 0.0)),
+                burst=_optional_burst(dvfs),
+            ),
             events=EventStreamFaults(
                 drop_rate=float(events.get("drop_rate", 0.0)),
                 duplicate_rate=float(events.get("duplicate_rate", 0.0)),
                 jitter_rate=float(events.get("jitter_rate", 0.0)),
                 jitter_ms=float(events.get("jitter_ms", 0.0)),
+                burst=_optional_burst(events),
+            ),
+            battery=BatteryFaults(
+                sag_rate=float(battery.get("sag_rate", 0.0)),
+                sag_power_scale=float(battery.get("sag_power_scale", 1.0)),
+                brownout_rate=float(battery.get("brownout_rate", 0.0)),
+                brownout_dwell_ms=float(battery.get("brownout_dwell_ms", 0.0)),
+                misreport_rate=float(battery.get("misreport_rate", 0.0)),
+                misreport_cap_mhz=int(battery.get("misreport_cap_mhz", 1_100)),
+                burst=_optional_burst(battery),
             ),
             description=payload.get("description", ""),
         )
+
+
+def _searched_pes_stress() -> FaultSpec:
+    """Worst case mined by the adversarial fault search (see ``faults search``).
+
+    ``python -m repro faults search --target pes_regression --budget-evals 24
+    --seed 0`` (budget 0.6) found this spec; the full search log is committed
+    as ``results/FAULT_SEARCH_pes_regression.json``.  Fault-free, PES spends
+    0.85x EBS energy on the baseline_seen scenario; under this spec it spends
+    **1.29x** — the speculation advantage is not just erased but inverted.
+    The recipe: bursty predictor flips squash speculative work, a heavy drop
+    rate starves the learner's sequence context, and rail sags surcharge the
+    replays that do land, all under one shared burst chain so the damage
+    arrives correlated.  Values are kept verbatim from the search so the
+    preset's serialised spec matches the committed artefact's.
+    """
+    burst = BurstModel(
+        enter_rate=0.15599858681430134,
+        exit_rate=0.5567749899101886,
+        burst_multiplier=3.813284214270748,
+    )
+    return FaultSpec(
+        name="searched_pes_stress",
+        predictor=PredictorFaults(flip_rate=0.061909628420243105, burst=burst),
+        sensor=SensorFaults(burst=burst),
+        dvfs=DvfsFaults(fail_rate=0.00613203388063181, burst=burst),
+        events=EventStreamFaults(
+            drop_rate=0.16036674769261913,
+            jitter_rate=0.05202096174254412,
+            jitter_ms=68.7041540630846,
+            burst=burst,
+        ),
+        battery=BatteryFaults(
+            sag_rate=0.05049822988261383,
+            sag_power_scale=1.4497917081319944,
+            brownout_rate=0.035873827725577484,
+            misreport_rate=0.0045502310576366915,
+            burst=burst,
+        ),
+        description="search-mined PES worst case: correlated predictor flips, "
+        "event drops, and rail sags that invert PES's energy advantage over "
+        "EBS (0.85x fault-free -> 1.29x) within a 0.6 fault budget",
+    )
 
 
 def _builtin_presets() -> dict[str, FaultSpec]:
@@ -270,6 +514,46 @@ def _builtin_presets() -> dict[str, FaultSpec]:
             description="lossy input stream: 5% drops, 5% duplicates, 20% of "
             "arrivals jittered by up to 40 ms",
         ),
+        "predictor_bursty": FaultSpec(
+            name="predictor_bursty",
+            predictor=PredictorFaults(
+                flip_rate=0.05,
+                burst=BurstModel(enter_rate=0.05, exit_rate=0.2, burst_multiplier=10.0),
+            ),
+            description="predictor flips cluster in stretches: a 5% base rate "
+            "that multiplies 10x during Gilbert-Elliott bursts averaging five "
+            "events (20% stationary occupancy)",
+        ),
+        "sensor_bursty": FaultSpec(
+            name="sensor_bursty",
+            sensor=SensorFaults(
+                noise_c=1.0,
+                burst=BurstModel(enter_rate=0.04, exit_rate=0.12, burst_multiplier=8.0),
+            ),
+            description="thermal telemetry degrades in stretches: 1 C baseline "
+            "noise that widens to 8 C during bursts averaging ~eight readings",
+        ),
+        "battery_sag": FaultSpec(
+            name="battery_sag",
+            battery=BatteryFaults(sag_rate=0.3, sag_power_scale=1.2),
+            description="aged cell under load: 30% of events draw through a "
+            "sagging rail at 1.2x effective power",
+        ),
+        "rail_brownout": FaultSpec(
+            name="rail_brownout",
+            battery=BatteryFaults(
+                sag_rate=0.15,
+                sag_power_scale=1.15,
+                brownout_rate=0.03,
+                brownout_dwell_ms=250.0,
+                misreport_rate=0.1,
+                burst=BurstModel(enter_rate=0.03, exit_rate=0.15, burst_multiplier=6.0),
+            ),
+            description="failing power delivery: bursty sags, 3% brown-outs "
+            "pinning the lowest rung for 250 ms, and a lying fuel gauge capping "
+            "planning at the low_battery ladder 10% of the time",
+        ),
+        "searched_pes_stress": _searched_pes_stress(),
         "chaos": FaultSpec(
             name="chaos",
             predictor=PredictorFaults(flip_rate=0.1),

@@ -40,7 +40,7 @@ from repro.core.optimizer.ilp import DynamicProgrammingSolver
 from repro.core.optimizer.schedule import Assignment, EventSpec
 from repro.core.pes import PesScheduler
 from repro.core.predictor.sequence_learner import PredictedEvent
-from repro.faults import FaultInjector, SessionFaultState
+from repro.faults import BatteryEffect, FaultInjector, SessionFaultState
 from repro.hardware.acmp import AcmpConfig, AcmpSystem
 from repro.hardware.dvfs import DvfsModel
 from repro.hardware.energy import SwitchingCosts
@@ -75,8 +75,9 @@ class EngineConfig:
     ``faults`` enables seeded fault injection (:mod:`repro.faults`): each
     session replay opens its own deterministic
     :class:`~repro.faults.injector.SessionFaultState` and the engines draw
-    predictor/sensor/DVFS/event-stream faults from it.  ``None`` (the
-    default) keeps every code path bit-identical to the fault-free engine.
+    predictor/sensor/DVFS/event-stream/battery faults from it.  ``None``
+    (the default) keeps every code path bit-identical to the fault-free
+    engine.
     """
 
     system: AcmpSystem
@@ -198,6 +199,42 @@ def _execute_with_faults(
                 final_config=held.final_config,
             )
     return execute_plan(config, plan, workload, start_ms, previous_config)
+
+
+#: Shared no-op effect so fault-free replays never touch the battery seam.
+_NO_BATTERY = BatteryEffect()
+
+
+def _battery_effect(
+    faults: SessionFaultState | None,
+    event_index: int,
+    start_ms: float,
+    *,
+    planning: bool = True,
+) -> BatteryEffect:
+    if faults is None:
+        return _NO_BATTERY
+    return faults.battery_event(event_index, start_ms, planning=planning)
+
+
+def _apply_rail_sag(
+    execution: ExecutionResult, effect: BatteryEffect, faults: SessionFaultState | None
+) -> ExecutionResult:
+    """Scale an execution's energy through a sagging rail, ledgering the extra.
+
+    Only the delta above the nominal draw is fault-attributed, so the
+    ledger can never exceed the session's total energy.
+    """
+    if effect.power_scale == 1.0 or faults is None:
+        return execution
+    extra = execution.active_energy_mj * (effect.power_scale - 1.0)
+    faults.note_fault_energy(extra)
+    return ExecutionResult(
+        finish_ms=execution.finish_ms,
+        cpu_time_ms=execution.cpu_time_ms,
+        active_energy_mj=execution.active_energy_mj + extra,
+        final_config=execution.final_config,
+    )
 
 
 class _SessionThermal:
@@ -350,6 +387,11 @@ class ReactiveEngine:
             else:
                 system = self.config.system
                 planned_throttled = False
+            battery = _battery_effect(faults, event.index, start)
+            if battery.cap_mhz is not None:
+                # Misreported fuel gauge: the governor plans this event over
+                # the low-battery ladder even though the cell is fine.
+                system = capped_system(system, battery.cap_mhz)
             ctx = EventContext(
                 event=event,
                 start_ms=start,
@@ -357,10 +399,16 @@ class ReactiveEngine:
                 power_table=self.config.power_table,
                 idle_before_ms=idle_before,
             )
-            plan = scheduler.plan(ctx)
+            if battery.force_lowest:
+                # Brown-out: the rail overrides the governor entirely and
+                # pins the event to the platform's lowest rung.
+                plan = ExecutionPlan.single(self.config.system.min_performance_config)
+            else:
+                plan = scheduler.plan(ctx)
             execution = _execute_with_faults(
                 self.config, plan, event.workload, start, previous_config, faults, event.index
             )
+            execution = _apply_rail_sag(execution, battery, faults)
             display = self.config.pipeline.next_vsync_ms(execution.finish_ms)
             outcome = EventOutcome(
                 index=event.index,
@@ -463,11 +511,25 @@ class ProactiveEngine:
                         event.index, switch * self.config.power_table.power_w(previous_config)
                     )
                     chosen = previous_config
-                duration = switch + event.workload.latency_ms(self.config.system, chosen)
                 spec_start = max(spec_cursor, busy_until)
+                # The frame is already planned, so a fuel-gauge misreport has
+                # nothing left to cap here (planning=False); brown-outs and
+                # rail sags hit the execution itself all the same.
+                battery = _battery_effect(faults, event.index, spec_start, planning=False)
+                if battery.force_lowest:
+                    lowest = self.config.system.min_performance_config
+                    if chosen != lowest:
+                        chosen = lowest
+                        switch = self.config.switching.switch_latency_ms(
+                            previous_config, chosen
+                        )
+                duration = switch + event.workload.latency_ms(self.config.system, chosen)
                 finish = spec_start + duration
-                power = self.config.power_table.power_w(chosen)
+                base_power = self.config.power_table.power_w(chosen)
+                power = base_power * battery.power_scale
                 energy = power * duration
+                if battery.power_scale != 1.0:
+                    faults.note_fault_energy((power - base_power) * duration)
                 display = self.config.pipeline.next_vsync_ms(max(finish, arrival))
                 pes.on_match(arrival)
                 outcome = EventOutcome(
@@ -639,6 +701,9 @@ class ProactiveEngine:
         else:
             system = self.config.system
             planned_throttled = False
+        battery = _battery_effect(faults, event.index, start_ms)
+        if battery.cap_mhz is not None:
+            system = capped_system(system, battery.cap_mhz)
         ctx = EventContext(
             event=event,
             start_ms=start_ms,
@@ -646,10 +711,14 @@ class ProactiveEngine:
             power_table=self.config.power_table,
             idle_before_ms=0.0,
         )
-        plan = pes.fallback.plan(ctx)
+        if battery.force_lowest:
+            plan = ExecutionPlan.single(self.config.system.min_performance_config)
+        else:
+            plan = pes.fallback.plan(ctx)
         execution = _execute_with_faults(
             self.config, plan, event.workload, start_ms, previous_config, faults, event.index
         )
+        execution = _apply_rail_sag(execution, battery, faults)
         display = self.config.pipeline.next_vsync_ms(execution.finish_ms)
         outcome = EventOutcome(
             index=event.index,
@@ -767,9 +836,23 @@ class OracleEngine:
                     )
                     chosen = previous_config
                 start = max(clock, assignment.start_ms)
+                # Oracle chunk plans are already solved when the event runs,
+                # so misreports cap nothing here (planning=False); brown-outs
+                # and sags still override/scale the execution.
+                battery = _battery_effect(faults, event.index, start, planning=False)
+                if battery.force_lowest:
+                    lowest = self.config.system.min_performance_config
+                    if chosen != lowest:
+                        chosen = lowest
+                        switch = self.config.switching.switch_latency_ms(
+                            previous_config, chosen
+                        )
                 finish = start + switch + event.workload.latency_ms(self.config.system, chosen)
-                power = self.config.power_table.power_w(chosen)
+                base_power = self.config.power_table.power_w(chosen)
+                power = base_power * battery.power_scale
                 energy = power * (finish - start)
+                if battery.power_scale != 1.0:
+                    faults.note_fault_energy((power - base_power) * (finish - start))
                 display = self.config.pipeline.next_vsync_ms(max(finish, event.arrival_ms))
                 outcome = EventOutcome(
                     index=event.index,

@@ -45,6 +45,39 @@ class EventOutcome:
     def slack_ms(self) -> float:
         return self.qos_target_ms - self.latency_ms
 
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "event_type": self.event_type.value,
+            "arrival_ms": self.arrival_ms,
+            "start_ms": self.start_ms,
+            "finish_ms": self.finish_ms,
+            "display_ms": self.display_ms,
+            "qos_target_ms": self.qos_target_ms,
+            "active_energy_mj": self.active_energy_mj,
+            "config_label": self.config_label,
+            "speculative": self.speculative,
+            "mispredicted": self.mispredicted,
+            "queue_delay_ms": self.queue_delay_ms,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EventOutcome":
+        return cls(
+            index=int(payload["index"]),
+            event_type=EventType(payload["event_type"]),
+            arrival_ms=float(payload["arrival_ms"]),
+            start_ms=float(payload["start_ms"]),
+            finish_ms=float(payload["finish_ms"]),
+            display_ms=float(payload["display_ms"]),
+            qos_target_ms=float(payload["qos_target_ms"]),
+            active_energy_mj=float(payload["active_energy_mj"]),
+            config_label=str(payload["config_label"]),
+            speculative=bool(payload["speculative"]),
+            mispredicted=bool(payload["mispredicted"]),
+            queue_delay_ms=float(payload["queue_delay_ms"]),
+        )
+
 
 @dataclass(frozen=True)
 class ThermalSessionStats:
@@ -93,6 +126,29 @@ class ThermalSessionStats:
             self.throttled_latency_ms,
             self.unthrottled_events,
             self.unthrottled_latency_ms,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "peak_temperature_c": self.peak_temperature_c,
+            "throttled_ms": self.throttled_ms,
+            "duration_ms": self.duration_ms,
+            "throttled_events": self.throttled_events,
+            "unthrottled_events": self.unthrottled_events,
+            "throttled_latency_ms": self.throttled_latency_ms,
+            "unthrottled_latency_ms": self.unthrottled_latency_ms,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ThermalSessionStats":
+        return cls(
+            peak_temperature_c=float(payload["peak_temperature_c"]),
+            throttled_ms=float(payload["throttled_ms"]),
+            duration_ms=float(payload["duration_ms"]),
+            throttled_events=int(payload["throttled_events"]),
+            unthrottled_events=int(payload["unthrottled_events"]),
+            throttled_latency_ms=float(payload["throttled_latency_ms"]),
+            unthrottled_latency_ms=float(payload["unthrottled_latency_ms"]),
         )
 
 
@@ -161,8 +217,13 @@ class FaultSessionStats:
     events_duplicated: int = 0
     events_jittered: int = 0
     stream_recovered: int = 0
+    #: Distinct events the battery seam hit (sag, brown-out dwell, or an
+    #: effective fuel-gauge misreport), and how many still met QoS.
+    battery_injected: int = 0
+    battery_recovered: int = 0
     #: Energy directly attributable to injected faults: speculative work
-    #: squashed by a forced flip plus failed-transition switch penalties.
+    #: squashed by a forced flip, failed-transition switch penalties, and
+    #: the extra joules a sagging rail burned over the nominal draw.
     fault_energy_mj: float = 0.0
 
     @property
@@ -175,6 +236,7 @@ class FaultSessionStats:
             + self.events_dropped
             + self.events_duplicated
             + self.events_jittered
+            + self.battery_injected
         )
 
     @property
@@ -184,6 +246,42 @@ class FaultSessionStats:
             + self.dvfs_recovered
             + self.sensor_recovered
             + self.stream_recovered
+            + self.battery_recovered
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "predictor_injected": self.predictor_injected,
+            "predictor_recovered": self.predictor_recovered,
+            "dvfs_injected": self.dvfs_injected,
+            "dvfs_recovered": self.dvfs_recovered,
+            "sensor_injected": self.sensor_injected,
+            "sensor_recovered": self.sensor_recovered,
+            "events_dropped": self.events_dropped,
+            "events_duplicated": self.events_duplicated,
+            "events_jittered": self.events_jittered,
+            "stream_recovered": self.stream_recovered,
+            "battery_injected": self.battery_injected,
+            "battery_recovered": self.battery_recovered,
+            "fault_energy_mj": self.fault_energy_mj,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultSessionStats":
+        return cls(
+            predictor_injected=int(payload["predictor_injected"]),
+            predictor_recovered=int(payload["predictor_recovered"]),
+            dvfs_injected=int(payload["dvfs_injected"]),
+            dvfs_recovered=int(payload["dvfs_recovered"]),
+            sensor_injected=int(payload["sensor_injected"]),
+            sensor_recovered=int(payload["sensor_recovered"]),
+            events_dropped=int(payload["events_dropped"]),
+            events_duplicated=int(payload["events_duplicated"]),
+            events_jittered=int(payload["events_jittered"]),
+            stream_recovered=int(payload["stream_recovered"]),
+            battery_injected=int(payload.get("battery_injected", 0)),
+            battery_recovered=int(payload.get("battery_recovered", 0)),
+            fault_energy_mj=float(payload["fault_energy_mj"]),
         )
 
 
@@ -202,6 +300,8 @@ class FaultAggregate:
     events_duplicated: int
     events_jittered: int
     stream_recovered: int
+    battery_injected: int
+    battery_recovered: int
     fault_energy_mj: float
     #: Fraction of total energy directly attributable to injected faults,
     #: expressed against the fault-free remainder (energy inflation).
@@ -216,6 +316,7 @@ class FaultAggregate:
             + self.events_dropped
             + self.events_duplicated
             + self.events_jittered
+            + self.battery_injected
         )
 
     @property
@@ -225,6 +326,7 @@ class FaultAggregate:
             + self.dvfs_recovered
             + self.sensor_recovered
             + self.stream_recovered
+            + self.battery_recovered
         )
 
     @property
@@ -247,12 +349,15 @@ class FaultAggregate:
             "events_duplicated": self.events_duplicated,
             "events_jittered": self.events_jittered,
             "stream_recovered": self.stream_recovered,
+            "battery_injected": self.battery_injected,
+            "battery_recovered": self.battery_recovered,
             "fault_energy_mj": self.fault_energy_mj,
             "energy_inflation": self.energy_inflation,
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "FaultAggregate":
+        # Battery counters default to zero so PR 6 artefacts still load.
         return cls(
             n_sessions=int(payload["n_sessions"]),
             predictor_injected=int(payload["predictor_injected"]),
@@ -265,6 +370,8 @@ class FaultAggregate:
             events_duplicated=int(payload["events_duplicated"]),
             events_jittered=int(payload["events_jittered"]),
             stream_recovered=int(payload["stream_recovered"]),
+            battery_injected=int(payload.get("battery_injected", 0)),
+            battery_recovered=int(payload.get("battery_recovered", 0)),
             fault_energy_mj=float(payload["fault_energy_mj"]),
             energy_inflation=float(payload["energy_inflation"]),
         )
@@ -348,6 +455,57 @@ class SessionResult:
             return 0.0
         return self.predictions_made / self.prediction_rounds
 
+    # -- serialisation ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Lossless JSON payload of the full session (shard checkpoints).
+
+        Every float survives a JSON round trip exactly (``repr``-based
+        float serialisation), so folding restored sessions in the original
+        order reproduces aggregate totals bit-identically — the property
+        the :class:`~repro.scenarios.checkpoint.ShardJournal` resume path
+        is pinned on.
+        """
+        return {
+            "app_name": self.app_name,
+            "scheduler_name": self.scheduler_name,
+            "outcomes": [o.to_dict() for o in self.outcomes],
+            "idle_energy_mj": self.idle_energy_mj,
+            "wasted_energy_mj": self.wasted_energy_mj,
+            "wasted_time_ms": self.wasted_time_ms,
+            "mispredictions": self.mispredictions,
+            "commits": self.commits,
+            "predictions_made": self.predictions_made,
+            "prediction_rounds": self.prediction_rounds,
+            "pfb_size_history": [[at_ms, size] for at_ms, size in self.pfb_size_history],
+            "duration_ms": self.duration_ms,
+            "thermal": None if self.thermal is None else self.thermal.to_dict(),
+            "faults": None if self.faults is None else self.faults.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SessionResult":
+        thermal = payload.get("thermal")
+        faults = payload.get("faults")
+        return cls(
+            app_name=str(payload["app_name"]),
+            scheduler_name=str(payload["scheduler_name"]),
+            outcomes=[EventOutcome.from_dict(o) for o in payload["outcomes"]],
+            idle_energy_mj=float(payload["idle_energy_mj"]),
+            wasted_energy_mj=float(payload["wasted_energy_mj"]),
+            wasted_time_ms=float(payload["wasted_time_ms"]),
+            mispredictions=int(payload["mispredictions"]),
+            commits=int(payload["commits"]),
+            predictions_made=int(payload["predictions_made"]),
+            prediction_rounds=int(payload["prediction_rounds"]),
+            pfb_size_history=[
+                (float(at_ms), int(size)) for at_ms, size in payload["pfb_size_history"]
+            ],
+            duration_ms=float(payload["duration_ms"]),
+            thermal=None if thermal is None else ThermalSessionStats.from_dict(thermal),
+            faults=None if faults is None else FaultSessionStats.from_dict(faults),
+        )
+
 
 @dataclass(frozen=True)
 class AggregateMetrics:
@@ -422,6 +580,8 @@ class StreamingAggregator:
     fault_events_duplicated: int = 0
     fault_events_jittered: int = 0
     fault_stream_recovered: int = 0
+    fault_battery_injected: int = 0
+    fault_battery_recovered: int = 0
     fault_energy_mj: float = 0.0
 
     def add(self, result: SessionResult) -> None:
@@ -468,6 +628,8 @@ class StreamingAggregator:
             self.fault_events_duplicated += faults.events_duplicated
             self.fault_events_jittered += faults.events_jittered
             self.fault_stream_recovered += faults.stream_recovered
+            self.fault_battery_injected += faults.battery_injected
+            self.fault_battery_recovered += faults.battery_recovered
             self.fault_energy_mj += faults.fault_energy_mj
 
     def merge(self, other: "StreamingAggregator") -> None:
@@ -512,6 +674,8 @@ class StreamingAggregator:
             self.fault_events_duplicated += other.fault_events_duplicated
             self.fault_events_jittered += other.fault_events_jittered
             self.fault_stream_recovered += other.fault_stream_recovered
+            self.fault_battery_injected += other.fault_battery_injected
+            self.fault_battery_recovered += other.fault_battery_recovered
             self.fault_energy_mj += other.fault_energy_mj
 
     def finalize_thermal(self) -> ThermalAggregate | None:
@@ -558,6 +722,8 @@ class StreamingAggregator:
             events_duplicated=self.fault_events_duplicated,
             events_jittered=self.fault_events_jittered,
             stream_recovered=self.fault_stream_recovered,
+            battery_injected=self.fault_battery_injected,
+            battery_recovered=self.fault_battery_recovered,
             fault_energy_mj=self.fault_energy_mj,
             energy_inflation=inflation,
         )

@@ -449,6 +449,7 @@ class ParallelEvaluator:
         keep_results: bool = False,
         on_sweep_complete: Callable[[MatrixSweep, dict[str, SchemeAggregates]], None]
         | None = None,
+        on_job_complete: Callable[[str, str, Trace, SessionResult], None] | None = None,
     ) -> MatrixOutcome:
         """Fan several scenarios' (scheme x trace) jobs through one pool.
 
@@ -464,6 +465,12 @@ class ParallelEvaluator:
         finalisation is a pure function of the folded sums, so the
         aggregates it receives are identical to the ones returned at the
         end.
+
+        ``on_job_complete`` is called once per (sweep key, scheme, trace)
+        job as ``(key, scheme, trace, result)``, in fold order — i.e. global
+        job order regardless of worker count, so a shard-level checkpoint
+        built on it (:class:`~repro.scenarios.checkpoint.ShardJournal`) is
+        deterministic for any ``--jobs`` value.
         """
         sweep_list = list(sweeps)
         keys = [sweep.key for sweep in sweep_list]
@@ -485,10 +492,12 @@ class ParallelEvaluator:
             return MatrixOutcome(aggregates={}, results={} if keep_results else None)
 
         def fold(index: int, result: SessionResult) -> None:
-            _, key, scheme, _ = jobs[index]
+            _, key, scheme, trace = jobs[index]
             aggregator.add(key, scheme, result)
             if ordered:
                 ordered[index] = result
+            if on_job_complete is not None:
+                on_job_complete(key, scheme, trace, result)
             finished = sweep_end.get(index)
             if finished is not None and on_sweep_complete is not None:
                 on_sweep_complete(finished, _finalize_sweep(aggregator, finished))

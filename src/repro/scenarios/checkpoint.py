@@ -9,6 +9,17 @@ appended and fsynced.  If the run dies — worker crash, OOM kill, Ctrl-C —
 the journal holds every completed cell; re-running with ``--resume`` skips
 those cells and replays only the remainder.
 
+A :class:`ShardJournal` checkpoints one level finer: *within* a cell, per
+(scheme, trace) shard.  Each shard record carries the shard's complete
+serialised :class:`~repro.runtime.metrics.SessionResult`, and each cell
+record carries whatever summary the producer scores a finished cell with.
+The adversarial fault search (:mod:`repro.faults.search`) journals every
+candidate through one, so a search killed mid-candidate resumes without
+re-simulating the shards that already ran — and, because appends happen in
+a deterministic order and :meth:`ShardJournal.open_for_resume` truncates
+any torn tail before new appends, the resumed journal file itself is
+byte-identical to an uninterrupted run's.
+
 Two properties make resume safe:
 
 * **Torn tails are dropped, not fatal.**  A crash mid-append leaves a
@@ -107,6 +118,114 @@ class MatrixJournal:
                 continue
             completed[name] = ScenarioResult.from_dict(entry)
         return completed
+
+    def clear(self) -> None:
+        """Delete the journal (a fresh, non-resumed run starts clean)."""
+        self.path.unlink(missing_ok=True)
+
+
+@dataclass
+class ShardJournal:
+    """Append-only within-cell checkpoint file, one record per trace shard.
+
+    Two record kinds share the JSON-lines file:
+
+    * ``{"kind": "shard", "cell": ..., "shard": ..., "payload": ...}`` — one
+      (scheme, trace) shard of a cell finished; the payload is its
+      serialised :class:`~repro.runtime.metrics.SessionResult`,
+    * ``{"kind": "cell", "cell": ..., "payload": ...}`` — the whole cell
+      finished; the payload is whatever summary the producer scores it with
+      (the fault search stores the candidate spec and its score).
+
+    Keys are opaque strings chosen by the producer; the fault search uses
+    the candidate's canonical serialised spec (:func:`_spec_key`) as the
+    cell key so stale journals invalidate by content exactly like
+    :class:`MatrixJournal`.
+    """
+
+    path: Path
+
+    def __post_init__(self) -> None:
+        self.path = Path(self.path)
+
+    # -- writing ----------------------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        line = json.dumps(record)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def append_shard(self, cell: str, shard: str, payload: dict) -> None:
+        """Durably record one completed (scheme, trace) shard of a cell."""
+        self._append({"kind": "shard", "cell": cell, "shard": shard, "payload": payload})
+
+    def append_cell(self, cell: str, payload: dict) -> None:
+        """Durably record a completed cell's summary."""
+        self._append({"kind": "cell", "cell": cell, "payload": payload})
+
+    # -- reading ----------------------------------------------------------------
+
+    def _scan(self) -> tuple[list[dict], int]:
+        """Parsed records plus the byte offset where the valid prefix ends.
+
+        Stops at the first torn record — a line without a trailing newline
+        or with unparseable JSON — exactly like
+        :meth:`MatrixJournal.entries`; the offset lets
+        :meth:`open_for_resume` cut the torn bytes off.
+        """
+        if not self.path.exists():
+            return [], 0
+        records: list[dict] = []
+        valid_end = 0
+        with open(self.path, "rb") as handle:
+            for raw in handle:
+                if not raw.endswith(b"\n"):
+                    break
+                stripped = raw.decode("utf-8").strip()
+                if stripped:
+                    try:
+                        records.append(json.loads(stripped))
+                    except json.JSONDecodeError:
+                        break
+                valid_end += len(raw)
+        return records, valid_end
+
+    @staticmethod
+    def _fold(records: list[dict]) -> tuple[dict[str, dict], dict[str, dict[str, dict]]]:
+        cells: dict[str, dict] = {}
+        shards: dict[str, dict[str, dict]] = {}
+        for record in records:
+            kind = record.get("kind")
+            cell = record.get("cell")
+            payload = record.get("payload")
+            if not isinstance(cell, str) or not isinstance(payload, dict):
+                continue
+            if kind == "cell":
+                cells[cell] = payload
+            elif kind == "shard" and isinstance(record.get("shard"), str):
+                shards.setdefault(cell, {})[record["shard"]] = payload
+        return cells, shards
+
+    def load(self) -> tuple[dict[str, dict], dict[str, dict[str, dict]]]:
+        """``(cells, shards)``: payloads keyed by cell, and by cell then shard."""
+        records, _ = self._scan()
+        return self._fold(records)
+
+    def open_for_resume(self) -> tuple[dict[str, dict], dict[str, dict[str, dict]]]:
+        """:meth:`load`, truncating any torn tail first.
+
+        Appends made after this call land exactly where an uninterrupted
+        run would have written them, which is what makes a resumed journal
+        file byte-identical to an uninterrupted one.
+        """
+        records, valid_end = self._scan()
+        if self.path.exists() and valid_end < self.path.stat().st_size:
+            with open(self.path, "rb+") as handle:
+                handle.truncate(valid_end)
+        return self._fold(records)
 
     def clear(self) -> None:
         """Delete the journal (a fresh, non-resumed run starts clean)."""

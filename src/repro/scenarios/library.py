@@ -213,6 +213,7 @@ def _builtin_matrices() -> dict[str, ScenarioMatrix]:
                 get_fault_preset("predictor_flaky"),
                 get_fault_preset("dvfs_flaky"),
                 get_fault_preset("lossy_events"),
+                get_fault_preset("rail_brownout"),
                 get_fault_preset("chaos"),
             ),
             traces_per_app=1,

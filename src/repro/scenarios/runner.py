@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Sequence
@@ -224,7 +225,29 @@ class ScenarioRunner:
         completed: dict[str, ScenarioResult] = {}
         if journal is not None:
             if resume:
-                completed = journal.completed_results(spec_list)
+                # A resume that resumes nothing is usually a mistake — a
+                # mistyped --out, a journal cleared by a completed run, or a
+                # matrix edited since the crash.  The run itself is still
+                # correct (every cell replays), so warn rather than fail.
+                if not journal.path.exists():
+                    warnings.warn(
+                        f"--resume requested but no journal exists at "
+                        f"{journal.path}; running every scenario from scratch",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                else:
+                    completed = journal.completed_results(spec_list)
+                    if not completed:
+                        warnings.warn(
+                            f"--resume requested but the journal at "
+                            f"{journal.path} matches none of the "
+                            f"{len(spec_list)} scenario spec(s) — the matrix "
+                            f"changed since it was written; running every "
+                            f"scenario from scratch",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
             else:
                 journal.clear()
         todo = [spec for spec in spec_list if spec.name not in completed]

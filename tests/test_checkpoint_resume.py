@@ -113,6 +113,21 @@ class TestResumeByteIdentity:
         resumed = ScenarioRunner(jobs=1).run(mini_specs, journal=journal, resume=True)
         assert [r.to_dict() for r in resumed] == [r.to_dict() for r in first]
 
+    def test_resume_without_a_journal_file_warns(self, mini_specs, tmp_path):
+        journal = MatrixJournal(tmp_path / "absent.journal")
+        with pytest.warns(RuntimeWarning, match="no journal exists"):
+            ScenarioRunner(jobs=1).run(mini_specs[:1], journal=journal, resume=True)
+
+    def test_resume_matching_zero_cells_warns(self, mini_specs, tmp_path):
+        journal = MatrixJournal(tmp_path / "run.journal")
+        ScenarioRunner(jobs=1).run(mini_specs[:1], journal=journal)
+        # The matrix changed since the journal was written, so no journaled
+        # cell matches: the resume silently resuming *nothing* was a
+        # debugging trap — now it says so.
+        changed = [dataclasses.replace(mini_specs[0], traces_per_app=2)]
+        with pytest.warns(RuntimeWarning, match="matches none"):
+            ScenarioRunner(jobs=1).run(changed, journal=journal, resume=True)
+
 
 class TestArtefactIO:
     def test_write_results_is_atomic(self, mini_specs, tmp_path):
@@ -181,3 +196,89 @@ class TestCliIntegration:
             main(["scenarios", "sweep", "--help"])
         output = capsys.readouterr().out
         assert "--faults" in output and "--resume" in output
+
+    def test_faults_accepts_a_spec_file(self, tmp_path, capsys):
+        import json
+
+        from repro.faults import get_fault_preset
+
+        spec_file = tmp_path / "myspec.json"
+        spec_file.write_text(json.dumps(get_fault_preset("dvfs_flaky").to_dict()))
+        out = tmp_path / "r.json"
+        assert main(
+            [
+                "scenarios",
+                "run",
+                "--scenario",
+                "baseline_seen",
+                "--faults",
+                str(spec_file),
+                "--jobs",
+                "1",
+                "--train-traces-per-app",
+                "1",
+                "--out",
+                str(out),
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "recovery" in output  # the faults table rendered
+
+    def test_faults_file_errors_name_the_file(self, tmp_path):
+        missing = tmp_path / "missing.json"
+        with pytest.raises(SystemExit, match="missing.json"):
+            main(["scenarios", "run", "--scenario", "baseline_seen", "--faults", str(missing)])
+
+        not_json = tmp_path / "notjson.json"
+        not_json.write_text("not json")
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            main(["scenarios", "run", "--scenario", "baseline_seen", "--faults", str(not_json)])
+
+        wrong_shape = tmp_path / "shape.json"
+        wrong_shape.write_text('{"bad": true}')
+        with pytest.raises(SystemExit, match="not a valid FaultSpec"):
+            main(
+                ["scenarios", "run", "--scenario", "baseline_seen", "--faults", str(wrong_shape)]
+            )
+
+        bad_rate = tmp_path / "rate.json"
+        bad_rate.write_text('{"predictor": {"flip_rate": 7}}')
+        with pytest.raises(SystemExit, match="flip_rate"):
+            main(["scenarios", "run", "--scenario", "baseline_seen", "--faults", str(bad_rate)])
+
+
+class TestFaultsCli:
+    def test_faults_list(self, capsys):
+        assert main(["faults", "list"]) == 0
+        output = capsys.readouterr().out
+        assert "rail_brownout" in output
+        assert "pes_regression" in output
+
+    def test_faults_search_writes_artefact_and_clears_journal(self, tmp_path, capsys):
+        out = tmp_path / "search.json"
+        assert main(
+            [
+                "faults",
+                "search",
+                "--target",
+                "recovery_collapse",
+                "--budget-evals",
+                "2",
+                "--out",
+                str(out),
+            ]
+        ) == 0
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["target"] == "recovery_collapse"
+        assert len(report["candidates"]) == 2
+        assert not (tmp_path / "search.json.journal").exists()
+        assert "best candidate" in capsys.readouterr().out
+
+    def test_faults_search_help_documents_the_knobs(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["faults", "search", "--help"])
+        output = capsys.readouterr().out
+        for flag in ("--target", "--budget", "--budget-evals", "--resume", "--out"):
+            assert flag in output

@@ -26,6 +26,8 @@ import pytest
 
 from repro.analysis.reporting import scenario_faults_table
 from repro.faults import (
+    BatteryFaults,
+    BurstModel,
     DvfsFaults,
     EventStreamFaults,
     FAULT_PRESETS,
@@ -94,6 +96,48 @@ class TestFaultSpec:
         with pytest.raises(KeyError, match="available"):
             get_fault_preset("does_not_exist")
 
+    def test_burst_model_validation_and_nullness(self):
+        with pytest.raises(ValueError, match="enter_rate"):
+            BurstModel(enter_rate=1.5)
+        with pytest.raises(ValueError, match="burst_multiplier"):
+            BurstModel(burst_multiplier=-1.0)
+        # A chain that never engages or never acts is null.
+        assert BurstModel(enter_rate=0.0, burst_multiplier=5.0).is_null
+        assert BurstModel(enter_rate=0.2, burst_multiplier=1.0).is_null
+        model = BurstModel(enter_rate=0.1, exit_rate=0.4, burst_multiplier=5.0)
+        assert not model.is_null
+        assert model.occupancy == pytest.approx(0.1 / 0.5)
+        # Stationary effective rate mixes the base and burst rates.
+        assert model.effective_rate(0.1) == pytest.approx(0.8 * 0.1 + 0.2 * 0.5)
+
+    def test_battery_validation_and_nullness(self):
+        with pytest.raises(ValueError, match="sag_power_scale"):
+            BatteryFaults(sag_power_scale=0.9)
+        with pytest.raises(ValueError, match="misreport_cap_mhz"):
+            BatteryFaults(misreport_cap_mhz=0)
+        with pytest.raises(ValueError, match="brownout_dwell_ms"):
+            BatteryFaults(brownout_dwell_ms=-1.0)
+        # A sag rate with a unit power scale can never change anything.
+        assert BatteryFaults(sag_rate=0.5, sag_power_scale=1.0).is_null
+        assert not BatteryFaults(sag_rate=0.5, sag_power_scale=1.2).is_null
+        assert not BatteryFaults(brownout_rate=0.1).is_null
+        assert not BatteryFaults(misreport_rate=0.1).is_null
+
+    def test_burst_free_payloads_keep_their_pre_burst_byte_shape(self):
+        # Old journals and artefacts match specs by serialised content, so a
+        # spec PR 6 could express must keep its exact payload keys.
+        payload = get_fault_preset("dvfs_flaky").to_dict()
+        assert "battery" not in payload
+        assert all("burst" not in block for block in payload.values() if isinstance(block, dict))
+        assert list(payload)[-1] == "description"
+
+    def test_null_but_non_default_battery_round_trips(self):
+        spec = FaultSpec(
+            name="sagless", battery=BatteryFaults(sag_rate=0.3, sag_power_scale=1.0)
+        )
+        assert spec.is_null
+        assert FaultSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+
 
 # -- identity invariant -------------------------------------------------------------
 
@@ -122,6 +166,35 @@ class TestZeroRateIdentity:
             )
         assert results[True] == results[False]
         assert all(r.faults is None for r in results[True])
+
+    @pytest.mark.parametrize("scheme", KNOWN_SCHEMES)
+    def test_null_burst_chains_are_bit_identical_on_every_scheme(
+        self, scheme, catalog, generator, learner
+    ):
+        # A burst model that can never engage, attached to every category of
+        # a *faulting* spec, must not consume a single RNG draw: the replay
+        # is bit-identical to the burst-free spec's.
+        import dataclasses
+
+        null_burst = BurstModel(enter_rate=0.0, exit_rate=0.5, burst_multiplier=6.0)
+        base = get_fault_preset("chaos")
+        bursty = dataclasses.replace(
+            base,
+            predictor=dataclasses.replace(base.predictor, burst=null_burst),
+            sensor=dataclasses.replace(base.sensor, burst=null_burst),
+            dvfs=dataclasses.replace(base.dvfs, burst=null_burst),
+            events=dataclasses.replace(base.events, burst=null_burst),
+            battery=dataclasses.replace(base.battery, burst=null_burst),
+        )
+        thermal = get_thermal_model("cramped_chassis")
+        traces = [generator.generate("cnn", seed=77)]
+        results = {}
+        for key, faults in (("base", base), ("bursty", bursty)):
+            simulator = Simulator(
+                setup=SimulationSetup(thermal=thermal, faults=faults), catalog=catalog
+            )
+            results[key] = simulator.run_scheme(traces, scheme, learner=learner)
+        assert results["base"] == results["bursty"]
 
 
 # -- injection seams ----------------------------------------------------------------
@@ -223,6 +296,68 @@ class TestInjectionSeams:
         assert stats.events_dropped + stats.events_duplicated + stats.events_jittered > 0
         assert len(faulty.outcomes) == len(fault_trace.events) - stats.events_dropped + stats.events_duplicated
 
+    def test_battery_sag_inflates_energy_and_ledgers_the_surcharge(
+        self, catalog, fault_trace
+    ):
+        spec = FaultSpec(
+            name="sag_always",
+            battery=BatteryFaults(sag_rate=1.0, sag_power_scale=1.3),
+        )
+        clean_sim = Simulator(setup=SimulationSetup(), catalog=catalog)
+        faulty_sim = Simulator(setup=SimulationSetup(faults=spec), catalog=catalog)
+        (clean,) = clean_sim.run_scheme([fault_trace], "EBS")
+        (faulty,) = faulty_sim.run_scheme([fault_trace], "EBS")
+        stats = faulty.faults
+        assert stats is not None
+        assert stats.battery_injected == len(faulty.outcomes)
+        assert 0 <= stats.battery_recovered <= stats.battery_injected
+        # Every event drew through the sagging rail; only the surcharge
+        # above nominal is fault-attributed, so the ledger reconciles.
+        assert faulty.total_energy_mj > clean.total_energy_mj
+        assert stats.fault_energy_mj == pytest.approx(
+            faulty.total_energy_mj - clean.total_energy_mj
+        )
+
+    def test_battery_brownout_pins_the_lowest_rung(self, catalog, fault_trace):
+        spec = FaultSpec(
+            name="brownout_always",
+            battery=BatteryFaults(brownout_rate=1.0, brownout_dwell_ms=100.0),
+        )
+        clean_sim = Simulator(setup=SimulationSetup(), catalog=catalog)
+        faulty_sim = Simulator(setup=SimulationSetup(faults=spec), catalog=catalog)
+        (clean,) = clean_sim.run_scheme([fault_trace], "Interactive")
+        (faulty,) = faulty_sim.run_scheme([fault_trace], "Interactive")
+        stats = faulty.faults
+        assert stats is not None
+        assert stats.battery_injected == len(faulty.outcomes)
+        # Forced onto the lowest rung, the run is slower than the clean one.
+        total = lambda result: sum(o.latency_ms for o in result.outcomes)
+        assert total(faulty) > total(clean)
+
+    def test_battery_misreport_caps_planning(self, catalog, fault_trace):
+        spec = FaultSpec(
+            name="lying_gauge",
+            battery=BatteryFaults(misreport_rate=1.0, misreport_cap_mhz=600),
+        )
+        clean_sim = Simulator(setup=SimulationSetup(), catalog=catalog)
+        faulty_sim = Simulator(setup=SimulationSetup(faults=spec), catalog=catalog)
+        (clean,) = clean_sim.run_scheme([fault_trace], "EBS")
+        (faulty,) = faulty_sim.run_scheme([fault_trace], "EBS")
+        stats = faulty.faults
+        assert stats is not None
+        assert stats.battery_injected > 0
+        assert faulty.outcomes != clean.outcomes
+
+    def test_bursty_preset_injects_through_the_chain(self, catalog, fault_trace, learner):
+        spec = get_fault_preset("predictor_bursty")
+        simulator = Simulator(setup=SimulationSetup(faults=spec), catalog=catalog)
+        (result,) = simulator.run_scheme([fault_trace], "PES", learner=learner)
+        stats = result.faults
+        assert stats is not None
+        # The 5% base rate climbs to 50% inside bursts; over a full session
+        # the chain must have engaged and flipped something.
+        assert stats.predictor_injected > 0
+
     @pytest.mark.parametrize("name", sorted(FAULT_PRESETS))
     def test_every_preset_obeys_recovered_le_injected(self, name, catalog, fault_trace, learner):
         spec = get_fault_preset(name)
@@ -260,12 +395,21 @@ class TestFaultAggregation:
             events_duplicated=1,
             events_jittered=3,
             stream_recovered=2,
+            battery_injected=6,
+            battery_recovered=4,
             fault_energy_mj=12.5,
             energy_inflation=0.01,
         )
         assert FaultAggregate.from_dict(aggregate.to_dict()) == aggregate
-        assert aggregate.injected == 4 + 5 + 1 + 2 + 1 + 3
-        assert aggregate.recovered == 2 + 5 + 0 + 2
+        assert aggregate.injected == 4 + 5 + 1 + 2 + 1 + 3 + 6
+        assert aggregate.recovered == 2 + 5 + 0 + 2 + 4
+        # A PR 6 payload (no battery keys) still loads, defaulting to zero.
+        legacy = {
+            k: v
+            for k, v in aggregate.to_dict().items()
+            if not k.startswith("battery_")
+        }
+        assert FaultAggregate.from_dict(legacy).battery_injected == 0
 
     def test_matrix_fault_axis_expands_with_labelled_cells(self):
         matrix = ScenarioMatrix(
