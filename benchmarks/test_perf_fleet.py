@@ -1,0 +1,32 @@
+"""Perf bench: wall-clock of a small fleet-population evaluation.
+
+Marked ``perf`` and deselected from the default pytest run; writes
+``results/BENCH_fleet.json`` (uploaded by the non-blocking CI perf job
+alongside the other BENCH artifacts).  The assertions guard that the
+population pipeline still *works* — every device contributes sessions and
+the per-scheme population percentiles are populated — while wall-clock
+itself is recorded, not asserted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import bench_fleet, write_bench_json
+
+
+@pytest.mark.perf
+def test_perf_fleet():
+    result = bench_fleet(jobs=2)
+    path = write_bench_json(result)
+    assert path.exists()
+    assert result.ops_per_sec > 0
+    assert result.extra is not None
+    assert result.extra["fleet"] == "smoke"
+    assert result.extra["n_devices"] == 12
+    # Every device replays at least one session per scheme.
+    assert result.extra["n_sessions"] >= 2 * result.extra["n_devices"]
+    # The population percentiles must be real numbers, not n/a across the
+    # board — a fleet whose every p95 energy is missing aggregated nothing.
+    for scheme, p95 in result.extra["p95_energy_mj"].items():
+        assert p95 is not None and p95 > 0, scheme

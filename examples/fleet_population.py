@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Fleet-scale evaluation: sample a 200-device population, print its win/loss table.
+
+The paper evaluates one device; a deployed scheduler meets a *population* —
+different platform variants, session regimes, app mixes, chassis, ambients,
+and fault conditions.  This example samples the default 200-device fleet
+(every device an independent ``stable_seed``-derived draw, so the population
+is identical on every machine), evaluates a small subset end to end, and
+prints the per-slice win/loss table: which corner of the fleet each scheme
+helps, and which it hurts.
+
+Run the full 200-device fleet from the CLI instead (it takes a few minutes
+and parallelises)::
+
+    PYTHONPATH=src python -m repro fleet run --fleet default --jobs 0
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+
+from repro.analysis.reporting import fleet_sample_table, fleet_slice_table
+from repro.fleet import DevicePopulation, FleetRunner, fleet_to_payload, get_fleet_preset
+
+
+def main() -> None:
+    fleet = get_fleet_preset("default")
+    population = DevicePopulation(fleet)
+
+    # -- 1. the population itself (no simulation) --------------------------------
+    print(f"fleet {fleet.name!r}: {len(population)} devices, seed {fleet.seed}")
+    for axis in ("platform", "regime", "thermal", "fault"):
+        counts = Counter(device.axis_value(axis) for device in population)
+        summary = ", ".join(f"{value} x{n}" for value, n in counts.most_common())
+        print(f"  {axis:<9} {summary}")
+    print()
+    print("first ten devices:")
+    print(fleet_sample_table(population.devices()[:10]))
+    print()
+
+    # -- 2. evaluate a slice of it ----------------------------------------------
+    # Devices keep their identity when the size shrinks (device i is the
+    # same draw in any population size), so a 24-device run is a faithful
+    # prefix of the full 200-device fleet.
+    subset = dataclasses.replace(fleet, size=24)
+    result = FleetRunner(jobs=2).run(subset)
+    payload = fleet_to_payload(result)
+
+    print(f"evaluated {payload['n_devices']} devices, {payload['n_sessions']} sessions")
+    for scheme, block in payload["population"].items():
+        quantiles = block["percentiles"]["energy_mj"]
+        print(
+            f"  {scheme:<12} energy p50 {quantiles['p50']:.0f} mJ, "
+            f"p95 {quantiles['p95']:.0f} mJ, p99 {quantiles['p99']:.0f} mJ"
+        )
+    print()
+    print("per-slice win/loss vs the baseline scheme "
+          f"({subset.baseline}; w/l/t = devices cheaper/dearer/equal):")
+    print(fleet_slice_table(payload))
+
+
+if __name__ == "__main__":
+    main()

@@ -251,6 +251,73 @@ def scenario_faults_table(results: Sequence) -> str:
     )
 
 
+def _na(value: object, render) -> str:
+    return "n/a" if value is None else render(value)
+
+
+def fleet_percentile_table(payload: Mapping) -> str:
+    """Population percentiles of a ``FLEET_*.json`` payload, one row per
+    (scheme, metric): nearest-rank p50/p95/p99 over the device population.
+    ``n/a`` marks metrics no device tracked (e.g. throttle residency of a
+    fleet whose every device drew an unthrottled chassis)."""
+    table_rows: list[list[object]] = []
+    for scheme, block in payload["population"].items():
+        for metric, quantiles in block["percentiles"].items():
+            table_rows.append(
+                [scheme, metric]
+                + [_na(quantiles[label], lambda v: f"{v:.3f}") for label in ("p50", "p95", "p99")]
+            )
+    return format_table(["scheme", "metric", "p50", "p95", "p99"], table_rows, min_width=10)
+
+
+def fleet_slice_table(payload: Mapping) -> str:
+    """Per-slice win/loss table of a ``FLEET_*.json`` payload.
+
+    One row per fleet slice: how many devices it holds, then per scheme
+    the win/loss/tie counts against the baseline scheme, the mean
+    normalised energy, and the slice's p95 throttle residency — the table
+    that answers "which part of the fleet does this scheme help or hurt".
+    """
+    schemes = list(payload["population"])
+    table_rows: list[list[object]] = []
+    for label, entry in payload["slices"].items():
+        cells: list[object] = [label, entry["n_devices"]]
+        for scheme in schemes:
+            block = entry["schemes"][scheme]
+            cells.append(f"{block['wins']}/{block['losses']}/{block['ties']}")
+            cells.append(_na(block["mean_normalised_energy"], format_percentage))
+            cells.append(_na(block["throttle_residency"]["p95"], format_percentage))
+        table_rows.append(cells)
+    headers = ["slice", "devices"]
+    for scheme in schemes:
+        headers += [f"{scheme} w/l/t", f"{scheme} energy", f"{scheme} p95 thr."]
+    return format_table(headers, table_rows, min_width=8)
+
+
+def fleet_sample_table(devices: Sequence) -> str:
+    """What a sampled fleet looks like, one row per
+    :class:`~repro.fleet.population.Device` (the ``fleet sample`` view)."""
+    table_rows: list[list[object]] = []
+    for device in devices:
+        table_rows.append(
+            [
+                device.name,
+                device.variant.label,
+                device.regime,
+                device.mix,
+                "+".join(device.apps),
+                device.thermal if device.thermal is not None else "-",
+                f"{device.ambient_c:g}" if device.ambient_c is not None else "-",
+                device.fault if device.fault is not None else "-",
+            ]
+        )
+    return format_table(
+        ["device", "platform", "regime", "mix", "apps", "thermal", "amb C", "fault"],
+        table_rows,
+        min_width=6,
+    )
+
+
 def scenario_qos_table(rows: Mapping[str, Mapping[str, AggregateMetrics]]) -> str:
     """Per-scenario QoS violation rate of every scheme."""
     schemes = _scheme_columns(rows)

@@ -28,6 +28,10 @@ Four benches anchor the perf trajectory of the repo:
   path where per-event fault draws and the sensed-temperature cap would
   show up if they regress; records injected/recovered counts per preset
   so the trajectory doubles as an injection smoke check.
+* ``bench_fleet`` — population scale: a small device-population evaluation
+  through :class:`repro.fleet.FleetRunner` (sampling, shared-setup sweep
+  construction, matrix fan-out, per-device shard-aggregate merge),
+  recording per-scheme population p95 energy as a metrics smoke check.
 
 Each bench emits a JSON file under ``results/`` with the schema
 ``{name, ops_per_sec, wall_s, git_rev}`` so future PRs can regress against
@@ -536,6 +540,47 @@ def bench_fault_search(quick: bool = False) -> BenchResult:
     )
 
 
+def bench_fleet(jobs: int = 2, quick: bool = False) -> BenchResult:
+    """Wall-clock of a small fleet-population evaluation (ops = sessions).
+
+    Runs :meth:`repro.fleet.FleetRunner.run` on the ``smoke`` preset — a
+    12-device population over two reactive schemes (no learner training in
+    the timed region) — exercising device sampling, shared-setup sweep
+    construction, the parallel matrix fan-out, and the per-device
+    shard-aggregate merge.  The extra payload records device/session
+    counts and the per-scheme population p95 energy so the trajectory
+    doubles as a population-metrics smoke check.
+    """
+    from repro.fleet import FleetRunner, fleet_to_payload, get_fleet_preset
+
+    fleet = get_fleet_preset("smoke")
+    if quick:
+        import dataclasses
+
+        fleet = dataclasses.replace(fleet, name="smoke_quick", size=4)
+    start = time.perf_counter()
+    result = FleetRunner(jobs=jobs).run(fleet)
+    elapsed = time.perf_counter() - start
+    payload = fleet_to_payload(result)
+    return BenchResult(
+        name="fleet",
+        ops_per_sec=payload["n_sessions"] / elapsed,
+        wall_s=elapsed,
+        git_rev=git_rev(),
+        extra={
+            "fleet": fleet.name,
+            "n_devices": payload["n_devices"],
+            "n_sessions": payload["n_sessions"],
+            "n_slices": len(payload["slices"]),
+            "jobs": jobs,
+            "p95_energy_mj": {
+                scheme: block["percentiles"]["energy_mj"]["p95"]
+                for scheme, block in payload["population"].items()
+            },
+        },
+    )
+
+
 #: Bench name -> factory taking the shared (jobs, quick) knobs.
 BENCHES = {
     "solver": lambda jobs, quick: bench_solver(min_duration_s=0.2 if quick else 3.0),
@@ -550,6 +595,7 @@ BENCHES = {
     "thermal": lambda jobs, quick: bench_thermal(jobs=jobs, quick=quick),
     "faults": lambda jobs, quick: bench_faults(jobs=jobs, quick=quick),
     "fault_search": lambda jobs, quick: bench_fault_search(quick=quick),
+    "fleet": lambda jobs, quick: bench_fleet(jobs=jobs, quick=quick),
 }
 
 

@@ -1,6 +1,6 @@
 """Command-line interface for the PES reproduction.
 
-Seven subcommands cover the whole workflow:
+Eight subcommands cover the whole workflow:
 
 * ``generate``  — synthesise interaction traces and save them to JSON,
 * ``train``     — train the event predictor and report Fig. 8 accuracy,
@@ -16,6 +16,13 @@ Seven subcommands cover the whole workflow:
   knobs (rates, Gilbert-Elliott burst shape, battery-rail magnitudes)
   under a fault-budget constraint toward a degradation target, shard-
   journaled so a killed search resumes byte-identically (``--resume``),
+* ``fleet``     — sample and evaluate fleet-scale device *populations*
+  (``repro.fleet``): each device an independent weighted draw over
+  (platform variant x regime x app mix x thermal curve x ambient x fault
+  preset); ``fleet run`` replays every (device x scheme x trace) session,
+  folds per-shard aggregates into mergeable population aggregates, and
+  writes ``results/FLEET_*.json`` with per-scheme p50/p95/p99 energy/QoS/
+  throttle-residency percentiles and a per-slice win/loss table,
 * ``bench``     — run the perf-regression benches (writes ``BENCH_*.json``).
 
 Thermal curves apply in one of two modes (``--thermal-mode`` on
@@ -54,7 +61,10 @@ Examples::
     python -m repro scenarios sweep --faults none chaos --schemes Interactive EBS PES
     python -m repro faults search --target pes_regression --budget-evals 24
     python -m repro faults search --target recovery_collapse --resume
-    python -m repro bench --only thermal faults fault_search
+    python -m repro fleet sample --fleet default --limit 20
+    python -m repro fleet run --fleet smoke --jobs 4
+    python -m repro fleet report results/FLEET_smoke.json
+    python -m repro bench --only thermal faults fault_search fleet
 
 ``evaluate``, ``scenarios run``/``sweep``, and ``bench`` take ``--jobs N``
 to fan the (scheme x trace) replays out over N worker processes
@@ -208,9 +218,11 @@ def _build_parser() -> argparse.ArgumentParser:
             "--resume",
             action="store_true",
             help="skip scenarios already completed in the run's <out>.journal "
-            "checkpoint (written per finished scenario; survives crashes and "
-            "Ctrl-C; the resumed artefact is byte-identical to an "
-            "uninterrupted run)",
+            "checkpoint (written per finished scenario) and restore the "
+            "finished sessions of the cell that was in flight from "
+            "<out>.shards.journal (written per finished session); survives "
+            "crashes and Ctrl-C; the resumed artefact is byte-identical to "
+            "an uninterrupted run",
         )
 
     _add_fault_and_resume_args(scenarios_run)
@@ -369,6 +381,85 @@ def _build_parser() -> argparse.ArgumentParser:
         "byte-identical to an uninterrupted run's",
     )
 
+    from repro.fleet import list_fleet_presets
+
+    fleet = sub.add_parser(
+        "fleet", help="sample/evaluate fleet-scale device populations"
+    )
+    fleet_action = fleet.add_subparsers(dest="action", required=True)
+
+    def _add_fleet_selection_args(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--fleet",
+            default="default",
+            choices=list_fleet_presets(),
+            help="named fleet preset (default: default, a 200-device population)",
+        )
+        sub_parser.add_argument(
+            "--size",
+            type=_positive_int,
+            default=None,
+            help="override the preset's population size (devices keep their "
+            "identity: device i is the same draw at any size)",
+        )
+        sub_parser.add_argument(
+            "--seed", type=int, default=None, help="override the preset's fleet seed"
+        )
+
+    fleet_sample = fleet_action.add_parser(
+        "sample",
+        help="sample a device population and print it (no simulation)",
+        description="Deterministically sample the fleet's devices — one "
+        "weighted draw per axis (platform variant, regime, app mix, thermal "
+        "curve, ambient, fault preset) from an independent per-device seed — "
+        "and print one row per device.  Pure and worker-count independent: "
+        "the same (fleet, seed, index) always yields the same device.",
+    )
+    _add_fleet_selection_args(fleet_sample)
+    fleet_sample.add_argument(
+        "--limit", type=_positive_int, default=None, help="print only the first N devices"
+    )
+
+    fleet_run = fleet_action.add_parser(
+        "run",
+        help="evaluate every device of a fleet under every scheme",
+        description="Sample the population, replay every (device x scheme x "
+        "trace) session, and fold per-device aggregates into mergeable "
+        "population aggregates: per-scheme energy/QoS/throttle-residency "
+        "percentiles (p50/p95/p99) and a per-slice win/loss table.  Writes "
+        "results/FLEET_<name>.json; byte-identical for any --jobs value.  "
+        "Every finished session checkpoints to the <out>.journal shard "
+        "journal, so a killed run re-run with --resume restores finished "
+        "sessions (even part-way through a device) and produces a "
+        "byte-identical artefact.",
+    )
+    _add_fleet_selection_args(fleet_run)
+    fleet_run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the fleet matrix (0 = one per CPU; default 1, serial)",
+    )
+    fleet_run.add_argument("--train-traces-per-app", type=_positive_int, default=4)
+    fleet_run.add_argument(
+        "--out",
+        default=None,
+        help="output JSON path (default: results/FLEET_<name>.json); the "
+        "shard journal checkpoints to <out>.journal",
+    )
+    fleet_run.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore sessions already journaled in <out>.journal instead of "
+        "re-simulating them; the resumed artefact is byte-identical to an "
+        "uninterrupted run's",
+    )
+
+    fleet_report = fleet_action.add_parser(
+        "report", help="render a saved FLEET_*.json artefact"
+    )
+    fleet_report.add_argument("file", help="FLEET_*.json artefact to render")
+
     bench = sub.add_parser("bench", help="run the perf-regression benches")
     bench.add_argument(
         "--results-dir", default=None, help="directory for BENCH_*.json (default: results/)"
@@ -392,6 +483,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "thermal",
             "faults",
             "fault_search",
+            "fleet",
         ],
         help="run only these benches",
     )
@@ -571,6 +663,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         MatrixJournal,
         ScenarioMatrix,
         ScenarioRunner,
+        ShardJournal,
         get_matrix,
         get_scenario,
         load_results,
@@ -650,11 +743,14 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         out = Path(args.out) if args.out is not None else (
             _default_results_dir() / f"SCENARIOS_{run_name}.json"
         )
-        # Every finished scenario checkpoints to the journal sidecar; after a
-        # crash, --resume replays only the missing cells and the final
-        # artefact is byte-identical to an uninterrupted run's.
+        # Every finished scenario checkpoints to the journal sidecar, and
+        # every finished *session* to the shard journal; after a crash,
+        # --resume skips the journaled cells, restores the journaled sessions
+        # of the cell that was in flight, and the final artefact is
+        # byte-identical to an uninterrupted run's.
         journal = MatrixJournal(Path(str(out) + ".journal"))
-        results = runner.run(specs, journal=journal, resume=args.resume)
+        shards = ShardJournal(Path(str(out) + ".shards.journal"))
+        results = runner.run(specs, journal=journal, shards=shards, resume=args.resume)
 
         rows = results_to_rows(results)
         print(scenario_energy_table(rows))
@@ -674,6 +770,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         # (run and sweep alike; write_results no longer accepts a jobs value).
         path = write_results(results, out, matrix=run_name)
         journal.clear()
+        shards.clear()
         print(f"\nwrote {len(results)} scenario results to {path}")
         return 0
 
@@ -718,7 +815,8 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
             _default_results_dir() / f"SCENARIOS_sweep_{args.name}.json"
         )
         journal = MatrixJournal(Path(str(out) + ".journal"))
-        results = runner.run(specs, journal=journal, resume=args.resume)
+        shards = ShardJournal(Path(str(out) + ".shards.journal"))
+        results = runner.run(specs, journal=journal, shards=shards, resume=args.resume)
 
         rows = results_to_rows(results)
         print(sweep_platform_table(specs))
@@ -742,6 +840,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         # differential harness compares them with a plain dict ==).
         path = write_results(results, out, matrix=matrix.name)
         journal.clear()
+        shards.clear()
         print(f"\nwrote {len(results)} scenario results to {path}")
         return 0
 
@@ -859,6 +958,85 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import dataclasses
+    from pathlib import Path
+
+    from repro.analysis.reporting import (
+        fleet_percentile_table,
+        fleet_sample_table,
+        fleet_slice_table,
+    )
+    from repro.fleet import (
+        DevicePopulation,
+        FleetRunner,
+        fleet_to_payload,
+        get_fleet_preset,
+        load_fleet_results,
+        write_fleet_results,
+    )
+
+    if args.action == "report":
+        payload = load_fleet_results(args.file)
+        print(
+            f"{args.file} (fleet={payload['fleet']['name']}, "
+            f"{payload['n_devices']} devices, {payload['n_sessions']} sessions)"
+        )
+        print(fleet_percentile_table(payload))
+        print()
+        print(fleet_slice_table(payload))
+        return 0
+
+    fleet = get_fleet_preset(args.fleet)
+    overrides = {}
+    if args.size is not None:
+        overrides["size"] = args.size
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        fleet = dataclasses.replace(fleet, **overrides)
+
+    if args.action == "sample":
+        devices = DevicePopulation(fleet).devices()
+        shown = devices[: args.limit] if args.limit is not None else devices
+        print(f"fleet {fleet.name}: {fleet.size} device(s), seed {fleet.seed}")
+        print(fleet_sample_table(shown))
+        if len(shown) < len(devices):
+            print(f"... and {len(devices) - len(shown)} more device(s)")
+        return 0
+
+    # run
+    from repro.bench import _default_results_dir
+    from repro.scenarios.checkpoint import ShardJournal
+    from repro.utils import resolve_jobs
+
+    jobs = resolve_jobs(args.jobs)
+    specs = DevicePopulation(fleet).scenario_specs()
+    n_replays = sum(spec.n_sessions * len(spec.schemes) for spec in specs)
+    print(
+        f"evaluating fleet {fleet.name}: {fleet.size} device(s), "
+        f"{n_replays} session replay(s), {jobs} worker(s)..."
+    )
+    out = Path(args.out) if args.out is not None else (
+        _default_results_dir() / f"FLEET_{fleet.name}.json"
+    )
+    # Every finished session checkpoints to the shard journal; after a
+    # crash, --resume restores journaled sessions (mid-device included) and
+    # the final artefact is byte-identical to an uninterrupted run's.
+    journal = ShardJournal(Path(str(out) + ".journal"))
+    runner = FleetRunner(jobs=jobs, train_traces_per_app=args.train_traces_per_app)
+    result = runner.run(fleet, shards=journal, resume=args.resume)
+
+    payload = fleet_to_payload(result)
+    print(fleet_percentile_table(payload))
+    print()
+    print(fleet_slice_table(payload))
+    path = write_fleet_results(result, out)
+    journal.clear()
+    print(f"\nwrote {payload['n_devices']} device results to {path}")
+    return 0
+
+
 def _cmd_platforms(_: argparse.Namespace) -> int:
     for name in list_platforms():
         system = get_platform(name)
@@ -880,6 +1058,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "scenarios": _cmd_scenarios,
         "platforms": _cmd_platforms,
         "faults": _cmd_faults,
+        "fleet": _cmd_fleet,
         "bench": _cmd_bench,
     }
     return handlers[args.command](args)

@@ -1,0 +1,67 @@
+"""Population-level metrics: nearest-rank percentiles over device values.
+
+Percentile convention — pinned here once so every fleet report agrees:
+
+* **Nearest rank**: ``percentile(values, q)`` is ``sorted(values)[ceil(q
+  * n) - 1]`` — always an actual observed device value, never an
+  interpolation.  For populations smaller than ``1 / (1 - q)`` the rank
+  saturates at the maximum: the p99 of a 10-device fleet is its worst
+  device, which is the honest answer (there is no 99th percentile device
+  to point at, and the tail question "how bad does it get" wants the max).
+* **Degenerate populations return ``None``, not an exception** — an empty
+  slice (or a metric no device in the slice tracks, like throttle
+  residency on unthrottled chassis) yields ``None``, which the report
+  renderers print as ``n/a``; a single-device population yields that
+  device's value at every quantile.  This mirrors the PR 3
+  zero-energy-baseline fix: population reports degrade cell by cell
+  instead of raising half-way through a 200-device run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+#: The quantiles every fleet artefact reports, with their payload labels.
+PERCENTILES: tuple[tuple[str, float], ...] = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
+def percentile(values: Sequence[float], q: float) -> float | None:
+    """Nearest-rank percentile of ``values``; ``None`` when empty.
+
+    ``q`` is a quantile in ``(0, 1]``.  ``q`` values that would need a
+    larger population than given (e.g. p99 of 10 devices) saturate at the
+    maximum observed value.
+    """
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"quantile must be in (0, 1], got {q}")
+    if not values:
+        return None
+    ranked = sorted(values)
+    rank = math.ceil(q * len(ranked))
+    return ranked[min(rank, len(ranked)) - 1]
+
+
+def percentile_block(values: Sequence[float]) -> dict[str, float | None]:
+    """The standard ``{"p50": ..., "p95": ..., "p99": ...}`` payload block."""
+    return {label: percentile(values, q) for label, q in PERCENTILES}
+
+
+def mean_or_none(values: Sequence[float]) -> float | None:
+    """Plain mean; ``None`` for an empty sequence (rendered as ``n/a``)."""
+    if not values:
+        return None
+    return sum(values) / len(values)
+
+
+def win_loss(ratios: Sequence[float]) -> Mapping[str, int]:
+    """Device counts below / above / at parity with the baseline.
+
+    ``ratios`` are per-device normalised energies (scheme over baseline);
+    devices whose baseline energy was non-positive are excluded upstream
+    (their ratio is undefined), so wins + losses + ties may be smaller
+    than the slice.
+    """
+    wins = sum(1 for ratio in ratios if ratio < 1.0)
+    losses = sum(1 for ratio in ratios if ratio > 1.0)
+    return {"wins": wins, "losses": losses, "ties": len(ratios) - wins - losses}

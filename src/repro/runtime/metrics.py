@@ -10,10 +10,71 @@ breakdown (Fig. 3).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.webapp.events import EventType
+
+
+class ExactSum:
+    """Exactly-rounded streaming sum of floats (Shewchuk partials).
+
+    Keeps the running sum as a list of non-overlapping partials whose real
+    (infinite-precision) sum equals the real sum of every value ever added
+    — :meth:`add` loses no information, it only re-expresses the sum.
+    :attr:`value` is therefore the *correctly rounded* float of the exact
+    sum, which makes the result independent of fold order and of how the
+    inputs were split across shards: folding a million sessions one by one,
+    or folding shard subtotals via :meth:`merge`, yields bit-identical
+    values.  This is the primitive that lets ``StreamingAggregator.merge``
+    promise merge ≡ sequential fold for *any* shard boundaries.
+    """
+
+    __slots__ = ("partials",)
+
+    def __init__(self, values: Iterable[float] = ()) -> None:
+        self.partials: list[float] = []
+        for value in values:
+            self.add(value)
+
+    def add(self, x: float) -> None:
+        """Add ``x`` exactly (two-sum cascade over the partials)."""
+        partials = self.partials
+        i = 0
+        for y in partials:
+            if abs(x) < abs(y):
+                x, y = y, x
+            hi = x + y
+            lo = y - (hi - x)
+            if lo:
+                partials[i] = lo
+                i += 1
+            x = hi
+        partials[i:] = [x]
+
+    def merge(self, other: "ExactSum") -> None:
+        """Fold another exact sum in; no rounding occurs, so order is moot."""
+        for partial in other.partials:
+            self.add(partial)
+
+    @property
+    def value(self) -> float:
+        """Correctly rounded float of the exact sum (``-0.0`` normalised)."""
+        return math.fsum(self.partials) + 0.0
+
+    def __float__(self) -> float:
+        return self.value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ExactSum):
+            return self.value == other.value
+        if isinstance(other, (int, float)):
+            return self.value == other
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ExactSum({self.value!r})"
 
 
 @dataclass(frozen=True)
@@ -545,28 +606,27 @@ class StreamingAggregator:
     hold every ``SessionResult`` in memory at once.  Folding the same
     results in the same order produces the exact floating-point totals of
     :func:`aggregate_results` (which is itself implemented as a fold).
+
+    :meth:`merge` is a first-class, order-independent operation: every
+    float accumulator is an :class:`ExactSum`, so merging per-shard partial
+    folds is **bit-identical** to a single sequential fold *regardless of
+    where the shard boundaries fall*.  This is the contract the fleet layer
+    (and any future multi-host sharding) is built on, pinned by a
+    hypothesis property test over random shard splits.
     """
 
     scheduler_name: str | None = None
     n_sessions: int = 0
     n_events: int = 0
     violations: int = 0
-    total_latency_ms: float = 0.0
-    total_energy_mj: float = 0.0
-    wasted_energy_mj: float = 0.0
-    wasted_time_ms: float = 0.0
     mispredictions: int = 0
     commits: int = 0
     # Thermal accumulators; only sessions carrying ThermalSessionStats fold
     # into these, so a mixed static/dynamic sweep aggregates each cleanly.
     thermal_sessions: int = 0
     thermal_peak_c: float = 0.0
-    thermal_throttled_ms: float = 0.0
-    thermal_duration_ms: float = 0.0
     thermal_throttled_events: int = 0
     thermal_unthrottled_events: int = 0
-    thermal_throttled_latency_ms: float = 0.0
-    thermal_unthrottled_latency_ms: float = 0.0
     # Fault accumulators; only sessions carrying FaultSessionStats fold into
     # these, so mixed faulted/fault-free sweeps aggregate each cleanly.
     fault_sessions: int = 0
@@ -582,7 +642,56 @@ class StreamingAggregator:
     fault_stream_recovered: int = 0
     fault_battery_injected: int = 0
     fault_battery_recovered: int = 0
-    fault_energy_mj: float = 0.0
+    # Float accumulators: exact sums so merge order / shard boundaries can
+    # never drift the totals (max over peaks is associative already).
+    _total_latency_ms: ExactSum = field(default_factory=ExactSum, repr=False)
+    _total_energy_mj: ExactSum = field(default_factory=ExactSum, repr=False)
+    _wasted_energy_mj: ExactSum = field(default_factory=ExactSum, repr=False)
+    _wasted_time_ms: ExactSum = field(default_factory=ExactSum, repr=False)
+    _thermal_throttled_ms: ExactSum = field(default_factory=ExactSum, repr=False)
+    _thermal_duration_ms: ExactSum = field(default_factory=ExactSum, repr=False)
+    _thermal_throttled_latency_ms: ExactSum = field(default_factory=ExactSum, repr=False)
+    _thermal_unthrottled_latency_ms: ExactSum = field(default_factory=ExactSum, repr=False)
+    _fault_energy_mj: ExactSum = field(default_factory=ExactSum, repr=False)
+
+    # Correctly rounded float views of the exact accumulators, under the
+    # names the rest of the codebase (and artefact payloads) always used.
+
+    @property
+    def total_latency_ms(self) -> float:
+        return self._total_latency_ms.value
+
+    @property
+    def total_energy_mj(self) -> float:
+        return self._total_energy_mj.value
+
+    @property
+    def wasted_energy_mj(self) -> float:
+        return self._wasted_energy_mj.value
+
+    @property
+    def wasted_time_ms(self) -> float:
+        return self._wasted_time_ms.value
+
+    @property
+    def thermal_throttled_ms(self) -> float:
+        return self._thermal_throttled_ms.value
+
+    @property
+    def thermal_duration_ms(self) -> float:
+        return self._thermal_duration_ms.value
+
+    @property
+    def thermal_throttled_latency_ms(self) -> float:
+        return self._thermal_throttled_latency_ms.value
+
+    @property
+    def thermal_unthrottled_latency_ms(self) -> float:
+        return self._thermal_unthrottled_latency_ms.value
+
+    @property
+    def fault_energy_mj(self) -> float:
+        return self._fault_energy_mj.value
 
     def add(self, result: SessionResult) -> None:
         """Fold one session into the running totals."""
@@ -596,12 +705,12 @@ class StreamingAggregator:
         self.n_sessions += 1
         self.n_events += result.n_events
         for outcome in result.outcomes:
-            self.total_latency_ms += outcome.latency_ms
+            self._total_latency_ms.add(outcome.latency_ms)
             if outcome.violated:
                 self.violations += 1
-        self.total_energy_mj += result.total_energy_mj
-        self.wasted_energy_mj += result.wasted_energy_mj
-        self.wasted_time_ms += result.wasted_time_ms
+        self._total_energy_mj.add(result.total_energy_mj)
+        self._wasted_energy_mj.add(result.wasted_energy_mj)
+        self._wasted_time_ms.add(result.wasted_time_ms)
         self.mispredictions += result.mispredictions
         self.commits += result.commits
         if result.thermal is not None:
@@ -609,12 +718,12 @@ class StreamingAggregator:
             if self.thermal_sessions == 0 or stats.peak_temperature_c > self.thermal_peak_c:
                 self.thermal_peak_c = stats.peak_temperature_c
             self.thermal_sessions += 1
-            self.thermal_throttled_ms += stats.throttled_ms
-            self.thermal_duration_ms += stats.duration_ms
+            self._thermal_throttled_ms.add(stats.throttled_ms)
+            self._thermal_duration_ms.add(stats.duration_ms)
             self.thermal_throttled_events += stats.throttled_events
             self.thermal_unthrottled_events += stats.unthrottled_events
-            self.thermal_throttled_latency_ms += stats.throttled_latency_ms
-            self.thermal_unthrottled_latency_ms += stats.unthrottled_latency_ms
+            self._thermal_throttled_latency_ms.add(stats.throttled_latency_ms)
+            self._thermal_unthrottled_latency_ms.add(stats.unthrottled_latency_ms)
         if result.faults is not None:
             faults = result.faults
             self.fault_sessions += 1
@@ -630,10 +739,16 @@ class StreamingAggregator:
             self.fault_stream_recovered += faults.stream_recovered
             self.fault_battery_injected += faults.battery_injected
             self.fault_battery_recovered += faults.battery_recovered
-            self.fault_energy_mj += faults.fault_energy_mj
+            self._fault_energy_mj.add(faults.fault_energy_mj)
 
     def merge(self, other: "StreamingAggregator") -> None:
-        """Fold another aggregator's totals into this one."""
+        """Fold another aggregator's totals into this one.
+
+        Bit-identical to having folded ``other``'s sessions directly after
+        this aggregator's own, for any split of sessions between the two:
+        the exact-sum accumulators carry the full-precision sum, so neither
+        fold order nor shard boundaries can perturb the rounded totals.
+        """
         if other.scheduler_name is None:
             return
         if self.scheduler_name is None:
@@ -646,22 +761,22 @@ class StreamingAggregator:
         self.n_sessions += other.n_sessions
         self.n_events += other.n_events
         self.violations += other.violations
-        self.total_latency_ms += other.total_latency_ms
-        self.total_energy_mj += other.total_energy_mj
-        self.wasted_energy_mj += other.wasted_energy_mj
-        self.wasted_time_ms += other.wasted_time_ms
+        self._total_latency_ms.merge(other._total_latency_ms)
+        self._total_energy_mj.merge(other._total_energy_mj)
+        self._wasted_energy_mj.merge(other._wasted_energy_mj)
+        self._wasted_time_ms.merge(other._wasted_time_ms)
         self.mispredictions += other.mispredictions
         self.commits += other.commits
         if other.thermal_sessions:
             if self.thermal_sessions == 0 or other.thermal_peak_c > self.thermal_peak_c:
                 self.thermal_peak_c = other.thermal_peak_c
             self.thermal_sessions += other.thermal_sessions
-            self.thermal_throttled_ms += other.thermal_throttled_ms
-            self.thermal_duration_ms += other.thermal_duration_ms
+            self._thermal_throttled_ms.merge(other._thermal_throttled_ms)
+            self._thermal_duration_ms.merge(other._thermal_duration_ms)
             self.thermal_throttled_events += other.thermal_throttled_events
             self.thermal_unthrottled_events += other.thermal_unthrottled_events
-            self.thermal_throttled_latency_ms += other.thermal_throttled_latency_ms
-            self.thermal_unthrottled_latency_ms += other.thermal_unthrottled_latency_ms
+            self._thermal_throttled_latency_ms.merge(other._thermal_throttled_latency_ms)
+            self._thermal_unthrottled_latency_ms.merge(other._thermal_unthrottled_latency_ms)
         if other.fault_sessions:
             self.fault_sessions += other.fault_sessions
             self.fault_predictor_injected += other.fault_predictor_injected
@@ -676,7 +791,7 @@ class StreamingAggregator:
             self.fault_stream_recovered += other.fault_stream_recovered
             self.fault_battery_injected += other.fault_battery_injected
             self.fault_battery_recovered += other.fault_battery_recovered
-            self.fault_energy_mj += other.fault_energy_mj
+            self._fault_energy_mj.merge(other._fault_energy_mj)
 
     def finalize_thermal(self) -> ThermalAggregate | None:
         """Thermal aggregate of the folded sessions, ``None`` when untracked."""
@@ -756,6 +871,18 @@ class StreamingSweepAggregator:
         self.overall.add(result)
         self.per_app.setdefault(result.app_name, StreamingAggregator()).add(result)
 
+    def merge(self, other: "StreamingSweepAggregator") -> None:
+        """Fold another sweep aggregator in (overall + per-app, app-wise).
+
+        Like :meth:`StreamingAggregator.merge`, bit-identical to a single
+        sequential fold over the union of sessions; per-app keys appear in
+        first-seen order (self's keys first, then other's new ones), which
+        matches the sequential order when shards are contiguous.
+        """
+        self.overall.merge(other.overall)
+        for app, agg in other.per_app.items():
+            self.per_app.setdefault(app, StreamingAggregator()).merge(agg)
+
     def finalize(self) -> AggregateMetrics:
         return self.overall.finalize()
 
@@ -778,6 +905,17 @@ class StreamingMatrixAggregator:
 
     def add(self, key: str, scheme: str, result: SessionResult) -> None:
         self.cells.setdefault((key, scheme), StreamingSweepAggregator()).add(result)
+
+    def merge(self, other: "StreamingMatrixAggregator") -> None:
+        """Fold another matrix aggregator in, cell by cell.
+
+        The shard-merge counterpart of :meth:`add`: cell totals are
+        bit-identical to a single sequential fold over all sessions, for
+        any assignment of sessions to shards (exact-sum accumulators
+        underneath).  Cells keep first-seen order.
+        """
+        for cell_key, sweep in other.cells.items():
+            self.cells.setdefault(cell_key, StreamingSweepAggregator()).merge(sweep)
 
     def finalize_cell(
         self, key: str, scheme: str

@@ -151,6 +151,14 @@ class MatrixSweep:
     Every sweep carries its own :class:`SimulationSetup` — matrix cells may
     differ in platform, frequency cap, or PES tuning — while the pool and
     the trained learner are shared across the whole matrix.
+
+    ``setup_key`` tags sweeps that share one hardware configuration: all
+    sweeps carrying the same tag must carry the *same* ``setup`` (and
+    ``pes_config``) object, and workers then build one simulator per tag
+    instead of one per sweep.  A fleet of thousands of devices drawn from a
+    handful of platform variants pays for a handful of power tables and
+    scheduler caches, not thousands.  ``None`` (the default) keeps the
+    per-sweep-key behaviour.
     """
 
     key: str
@@ -158,6 +166,7 @@ class MatrixSweep:
     traces: tuple[Trace, ...]
     schemes: tuple[str, ...]
     pes_config: PesConfig | None = None
+    setup_key: str | None = None
 
     def __post_init__(self) -> None:
         if not self.key:
@@ -263,13 +272,17 @@ class _MatrixWorkerContext:
     learner: EventSequenceLearner | None
     setups: dict[str, SimulationSetup]
     pes_configs: dict[str, PesConfig | None]
+    #: Sweep key -> shared-setup tag; keys absent from the map cache their
+    #: simulator under the sweep key itself (one simulator per sweep).
+    setup_keys: dict[str, str] = field(default_factory=dict)
     simulators: dict[str, Simulator] = field(default_factory=dict)
 
     def simulator(self, key: str) -> Simulator:
-        simulator = self.simulators.get(key)
+        cache_key = self.setup_keys.get(key, key)
+        simulator = self.simulators.get(cache_key)
         if simulator is None:
             simulator = Simulator(setup=self.setups[key], catalog=self.catalog)
-            self.simulators[key] = simulator
+            self.simulators[cache_key] = simulator
         return simulator
 
 
@@ -278,10 +291,15 @@ def _init_matrix_worker(
     learner: EventSequenceLearner | None,
     setups: dict[str, SimulationSetup],
     pes_configs: dict[str, PesConfig | None],
+    setup_keys: dict[str, str] | None = None,
 ) -> None:
     global _MATRIX_WORKER
     _MATRIX_WORKER = _MatrixWorkerContext(
-        catalog=catalog, learner=learner, setups=setups, pes_configs=pes_configs
+        catalog=catalog,
+        learner=learner,
+        setups=setups,
+        pes_configs=pes_configs,
+        setup_keys=setup_keys or {},
     )
 
 
@@ -450,6 +468,7 @@ class ParallelEvaluator:
         on_sweep_complete: Callable[[MatrixSweep, dict[str, SchemeAggregates]], None]
         | None = None,
         on_job_complete: Callable[[str, str, Trace, SessionResult], None] | None = None,
+        precomputed: dict[tuple[str, str, int], SessionResult] | None = None,
     ) -> MatrixOutcome:
         """Fan several scenarios' (scheme x trace) jobs through one pool.
 
@@ -471,6 +490,13 @@ class ParallelEvaluator:
         job order regardless of worker count, so a shard-level checkpoint
         built on it (:class:`~repro.scenarios.checkpoint.ShardJournal`) is
         deterministic for any ``--jobs`` value.
+
+        ``precomputed`` maps ``(sweep key, scheme, trace index)`` to an
+        already-known :class:`SessionResult` (e.g. restored from a shard
+        journal on ``--resume``).  Those jobs are never re-simulated; their
+        results are folded in their original global job position, so the
+        aggregates — and every hook invocation — stay bit-identical to an
+        uninterrupted run.
         """
         sweep_list = list(sweeps)
         keys = [sweep.key for sweep in sweep_list]
@@ -478,12 +504,29 @@ class ParallelEvaluator:
             raise ValueError("matrix sweep keys must be unique")
         if learner is None and any("PES" in sweep.schemes for sweep in sweep_list):
             raise ValueError("running PES requires a trained learner")
+        shared_setups: dict[str, MatrixSweep] = {}
+        for sweep in sweep_list:
+            if sweep.setup_key is None:
+                continue
+            owner = shared_setups.setdefault(sweep.setup_key, sweep)
+            if owner.setup is not sweep.setup or owner.pes_config is not sweep.pes_config:
+                # Sharing a tag but not the objects would silently replay
+                # one sweep on another's hardware model.
+                raise ValueError(
+                    f"matrix sweeps {owner.key!r} and {sweep.key!r} share "
+                    f"setup_key {sweep.setup_key!r} but not the same setup"
+                )
 
         jobs: list[tuple[int, str, str, Trace]] = []
         sweep_end: dict[int, MatrixSweep] = {}
+        done: dict[int, SessionResult] = {}
         for sweep in sweep_list:
             for scheme in sweep.schemes:
-                for trace in sweep.traces:
+                for trace_index, trace in enumerate(sweep.traces):
+                    if precomputed is not None:
+                        known = precomputed.get((sweep.key, scheme, trace_index))
+                        if known is not None:
+                            done[len(jobs)] = known
                     jobs.append((len(jobs), sweep.key, scheme, trace))
             sweep_end[len(jobs) - 1] = sweep
         aggregator = StreamingMatrixAggregator()
@@ -502,11 +545,11 @@ class ParallelEvaluator:
             if finished is not None and on_sweep_complete is not None:
                 on_sweep_complete(finished, _finalize_sweep(aggregator, finished))
 
-        workers = min(self._jobs, len(jobs))
+        workers = min(self._jobs, len(jobs) - len(done))
         if workers <= 1:
-            self._run_matrix_serial(sweep_list, learner, fold)
+            self._run_matrix_serial(sweep_list, learner, fold, done)
         else:
-            self._run_matrix_parallel(sweep_list, jobs, learner, fold, workers)
+            self._run_matrix_parallel(sweep_list, jobs, learner, fold, workers, done)
 
         aggregates: dict[str, dict[str, SchemeAggregates]] = {}
         for sweep in sweep_list:
@@ -599,16 +642,30 @@ class ParallelEvaluator:
         sweeps: list[MatrixSweep],
         learner: EventSequenceLearner | None,
         fold: Callable[[int, SessionResult], None],
+        done: dict[int, SessionResult],
     ) -> None:
-        """In-process matrix run: one simulator per sweep, global job order."""
+        """In-process matrix run: one simulator per setup, global job order.
+
+        Simulators are cached under ``setup_key`` (falling back to the sweep
+        key), so sweeps tagged as sharing a hardware configuration share one
+        simulator here exactly as pool workers do.  Jobs present in ``done``
+        fold their known result without touching a simulator.
+        """
+        simulators: dict[str, Simulator] = {}
         position = 0
         for sweep in sweeps:
-            simulator = Simulator(setup=sweep.setup, catalog=self.catalog)
+            cache_key = sweep.setup_key or sweep.key
             for scheme in sweep.schemes:
-                results = simulator.run_scheme(
-                    list(sweep.traces), scheme, learner=learner, pes_config=sweep.pes_config
-                )
-                for result in results:
+                for trace in sweep.traces:
+                    result = done.get(position)
+                    if result is None:
+                        simulator = simulators.get(cache_key)
+                        if simulator is None:
+                            simulator = Simulator(setup=sweep.setup, catalog=self.catalog)
+                            simulators[cache_key] = simulator
+                        result = simulator.run_scheme(
+                            [trace], scheme, learner=learner, pes_config=sweep.pes_config
+                        )[0]
                     fold(position, result)
                     position += 1
 
@@ -619,31 +676,38 @@ class ParallelEvaluator:
         learner: EventSequenceLearner | None,
         fold: Callable[[int, SessionResult], None],
         workers: int,
+        done: dict[int, SessionResult],
     ) -> None:
         setups = {sweep.key: sweep.setup for sweep in sweeps}
         pes_configs = {sweep.key: sweep.pes_config for sweep in sweeps}
+        setup_keys = {
+            sweep.key: sweep.setup_key for sweep in sweeps if sweep.setup_key is not None
+        }
         parent_simulators: dict[str, Simulator] = {}
 
         def rerun(index: int) -> SessionResult:
             _, key, scheme, trace = jobs[index]
-            simulator = parent_simulators.get(key)
+            cache_key = setup_keys.get(key, key)
+            simulator = parent_simulators.get(cache_key)
             if simulator is None:
                 simulator = Simulator(setup=setups[key], catalog=self.catalog)
-                parent_simulators[key] = simulator
+                parent_simulators[cache_key] = simulator
             return simulator.run_scheme(
                 [trace], scheme, learner=learner, pes_config=pes_configs[key]
             )[0]
 
+        todo = [job for job in jobs if job[0] not in done]
         self._drain_pool(
             n_jobs=len(jobs),
             submit=lambda pool, chunk: pool.imap_unordered(
-                _run_matrix_job_chunk, _chunked(jobs, chunk)
+                _run_matrix_job_chunk, _chunked(todo, chunk)
             ),
             initializer=_init_matrix_worker,
-            initargs=(self.catalog, learner, setups, pes_configs),
+            initargs=(self.catalog, learner, setups, pes_configs, setup_keys),
             workers=workers,
             fold=fold,
             rerun=rerun,
+            prefill=done,
         )
 
     # -- pool lifecycle -----------------------------------------------------------
@@ -658,8 +722,13 @@ class ParallelEvaluator:
         workers: int,
         fold: Callable[[int, SessionResult], None],
         rerun: Callable[[int], SessionResult],
+        prefill: dict[int, SessionResult] | None = None,
     ) -> None:
         """Run one pool to completion with ordered folding and fault recovery.
+
+        ``prefill`` seeds already-known results (resume path): they join the
+        pending map up front, fold at their original position as the prefix
+        fills in, and are never submitted to the pool.
 
         Results arrive in completion order (work stealing); the contiguous
         prefix is folded as it fills in, so aggregation order — hence every
@@ -673,19 +742,20 @@ class ParallelEvaluator:
         and join the pool before propagating — no leaked worker processes,
         no un-joined pool.
         """
-        chunk = self.chunk_size or pool_chunk_size(n_jobs, workers)
+        n_todo = n_jobs - (len(prefill) if prefill else 0)
+        chunk = self.chunk_size or pool_chunk_size(n_todo, workers)
         # Deliveries arrive one chunk at a time, and a chunk runs its jobs
         # serially on one worker — so the per-delivery watchdog bound is the
         # per-job timeout scaled by the chunk size.
         timeout = None if self.job_timeout_s is None else self.job_timeout_s * chunk
-        pending: dict[int, SessionResult | _JobFailure] = {}
+        pending: dict[int, SessionResult | _JobFailure] = dict(prefill) if prefill else {}
         next_index = 0
         delivered = 0
         stalled = False
         pool = mp_context().Pool(processes=workers, initializer=initializer, initargs=initargs)
         try:
             iterator = submit(pool, chunk)
-            while delivered < n_jobs:
+            while delivered < n_todo:
                 try:
                     batch = iterator.next(timeout)
                 except StopIteration:  # pragma: no cover - defensive

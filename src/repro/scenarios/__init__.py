@@ -15,7 +15,7 @@ object instead of an ad-hoc script:
   matrices (``python -m repro scenarios list``).
 """
 
-from repro.scenarios.checkpoint import ArtefactError, MatrixJournal
+from repro.scenarios.checkpoint import ArtefactError, MatrixJournal, ShardJournal
 from repro.scenarios.library import (
     BUILTIN_SCENARIOS,
     MATRICES,
@@ -52,6 +52,7 @@ __all__ = [
     "ScenarioResult",
     "ScenarioRunner",
     "ScenarioSpec",
+    "ShardJournal",
     "get_matrix",
     "get_scenario",
     "list_matrices",

@@ -20,14 +20,19 @@ import os
 import warnings
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.core.predictor.sequence_learner import EventSequenceLearner
 from repro.core.predictor.training import PredictorTrainer
-from repro.runtime.metrics import AggregateMetrics, FaultAggregate, ThermalAggregate
+from repro.runtime.metrics import (
+    AggregateMetrics,
+    FaultAggregate,
+    SessionResult,
+    ThermalAggregate,
+)
 from repro.runtime.parallel import MatrixSweep, ParallelEvaluator, SchemeAggregates
 from repro.runtime.simulator import SimulationSetup
-from repro.scenarios.checkpoint import ArtefactError, MatrixJournal
+from repro.scenarios.checkpoint import ArtefactError, MatrixJournal, ShardJournal, _spec_key
 from repro.scenarios.spec import ScenarioSpec
 from repro.traces.generator import TraceGenerator
 from repro.webapp.apps import AppCatalog, SEEN_APPS
@@ -137,9 +142,21 @@ class ScenarioRunner:
     #: worker pool; below this, pool start-up (a full interpreter spawn on
     #: non-Linux platforms) costs more than generating the traces serially.
     parallel_generation_threshold: int = 16
+    #: When ``True``, specs that resolve to the same hardware configuration
+    #: (platform variant, regime cap, thermal curve + ambient + mode, fault
+    #: spec, PES tuning) share one :class:`SimulationSetup` object and a
+    #: ``setup_key`` tag, so
+    #: :meth:`~repro.runtime.parallel.ParallelEvaluator.evaluate_matrix`
+    #: workers build one simulator per distinct configuration instead of
+    #: one per spec.  The fleet layer turns this on — a 200-device
+    #: population typically draws from a dozen configurations.
+    share_setups: bool = False
     #: Trained learners keyed by the fields that define them — see
     #: :meth:`train_learner`.
     _trained: dict[tuple[int, int], EventSequenceLearner] = field(
+        default_factory=dict, init=False, repr=False
+    )
+    _setup_cache: dict[str, tuple[SimulationSetup, object]] = field(
         default_factory=dict, init=False, repr=False
     )
 
@@ -164,16 +181,49 @@ class ScenarioRunner:
             base_seed=spec.seed,
             jobs=gen_jobs,
         )
-        return MatrixSweep(
-            key=spec.name,
-            setup=SimulationSetup(
+        setup_key: str | None = None
+        pes_config = spec.pes
+        if self.share_setups:
+            # Everything that feeds the SimulationSetup (plus the PES
+            # tuning, which rides along in the sweep), canonically
+            # serialised: two specs with equal keys get the *same* setup
+            # and pes objects (evaluate_matrix validates that identity).
+            setup_key = json.dumps(
+                {
+                    "variant": spec.platform_variant().label,
+                    "regime": spec.regime,
+                    "thermal_mode": spec.thermal_mode,
+                    "ambient_c": spec.ambient_c,
+                    "faults": spec.faults.to_dict() if spec.faults is not None else None,
+                    "pes": asdict(spec.pes) if spec.pes is not None else None,
+                },
+                sort_keys=True,
+            )
+            cached = self._setup_cache.get(setup_key)
+            if cached is None:
+                cached = (
+                    SimulationSetup(
+                        system=spec.system(),
+                        thermal=spec.dynamic_thermal_model(),
+                        faults=spec.faults,
+                    ),
+                    spec.pes,
+                )
+                self._setup_cache[setup_key] = cached
+            setup, pes_config = cached
+        else:
+            setup = SimulationSetup(
                 system=spec.system(),
                 thermal=spec.dynamic_thermal_model(),
                 faults=spec.faults,
-            ),
+            )
+        return MatrixSweep(
+            key=spec.name,
+            setup=setup,
             traces=tuple(traces),
             schemes=spec.schemes,
-            pes_config=spec.pes,
+            pes_config=pes_config,
+            setup_key=setup_key,
         )
 
     def train_learner(self) -> EventSequenceLearner:
@@ -205,7 +255,9 @@ class ScenarioRunner:
         *,
         learner: EventSequenceLearner | None = None,
         journal: MatrixJournal | None = None,
+        shards: ShardJournal | None = None,
         resume: bool = False,
+        on_session: "Callable[[str, str, int, SessionResult], None] | None" = None,
     ) -> list[ScenarioResult]:
         """Run every scenario, returning one result per spec in spec order.
 
@@ -218,11 +270,33 @@ class ScenarioRunner:
         byte-identical to an uninterrupted run's.  Without ``resume`` an
         existing journal is cleared first, so a fresh run never mixes in
         stale cells.
+
+        With a ``shards`` journal, checkpointing goes one level finer:
+        every (scheme, trace) session is journaled the moment it folds, so
+        ``resume=True`` skips re-simulating the sessions of a cell the
+        crash interrupted *mid-cell* — their results are restored from the
+        journal and folded at their original position, keeping aggregates,
+        hook order, the final artefact, *and the journal file itself*
+        byte-identical to an uninterrupted run.  Cells are matched by
+        serialised spec content, so editing the matrix invalidates exactly
+        the cells that changed.
+
+        ``on_session`` is called as ``(spec name, scheme, trace index,
+        result)`` for every session of every non-skipped spec, in
+        deterministic fold order — restored and freshly-simulated sessions
+        alike, which is what lets the fleet layer rebuild per-device
+        aggregates across a resume.
         """
         spec_list = list(specs)
         if not spec_list:
             return []
         completed: dict[str, ScenarioResult] = {}
+        shard_map: dict[str, dict[str, dict]] = {}
+        if shards is not None:
+            if resume:
+                _, shard_map = shards.open_for_resume()
+            else:
+                shards.clear()
         if journal is not None:
             if resume:
                 # A resume that resumes nothing is usually a mistake — a
@@ -263,6 +337,16 @@ class ScenarioRunner:
                 job_timeout_s=self.job_timeout_s,
             )
             by_key = {spec.name: spec for spec in todo}
+            cell_keys = {spec.name: _spec_key(spec.to_dict()) for spec in todo}
+            precomputed: dict[tuple[str, str, int], SessionResult] = {}
+            for spec in todo:
+                for shard_key, payload in shard_map.get(cell_keys[spec.name], {}).items():
+                    scheme, _, trace_index = shard_key.rpartition("/")
+                    if not scheme or not trace_index.isdigit():
+                        continue
+                    precomputed[(spec.name, scheme, int(trace_index))] = (
+                        SessionResult.from_dict(payload)
+                    )
 
             def checkpoint(
                 sweep: MatrixSweep, aggregates: dict[str, SchemeAggregates]
@@ -272,7 +356,33 @@ class ScenarioRunner:
                 if journal is not None:
                     journal.append(result)
 
-            evaluator.evaluate_matrix(sweeps, learner=learner, on_sweep_complete=checkpoint)
+            session_counters: dict[tuple[str, str], int] = {}
+
+            def record_session(
+                key: str, scheme: str, trace: object, result: SessionResult
+            ) -> None:
+                # Fold order is deterministic per (key, scheme), so a plain
+                # counter recovers the trace index without widening the
+                # evaluate_matrix hook signature.
+                trace_index = session_counters.get((key, scheme), 0)
+                session_counters[(key, scheme)] = trace_index + 1
+                if shards is not None and (key, scheme, trace_index) not in precomputed:
+                    shards.append_shard(
+                        cell_keys[key], f"{scheme}/{trace_index}", result.to_dict()
+                    )
+                if on_session is not None:
+                    on_session(key, scheme, trace_index, result)
+
+            on_job = (
+                record_session if (shards is not None or on_session is not None) else None
+            )
+            evaluator.evaluate_matrix(
+                sweeps,
+                learner=learner,
+                on_sweep_complete=checkpoint,
+                on_job_complete=on_job,
+                precomputed=precomputed or None,
+            )
         return [
             completed[spec.name] if spec.name in completed else fresh[spec.name]
             for spec in spec_list

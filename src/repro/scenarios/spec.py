@@ -17,7 +17,7 @@ plain dicts for the JSON artefacts under ``results/``.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from itertools import product
 
 from repro.core.pes import PesConfig
@@ -101,6 +101,11 @@ class ScenarioSpec:
     #: (:mod:`repro.faults`).  ``None`` — and any zero-rate spec — is
     #: bit-identical to the fault-free path.
     faults: FaultSpec | None = None
+    #: Ambient temperature override (°C) for the ``thermal`` curve — the
+    #: fleet layer's per-device environment axis (a phone in a pocket vs on
+    #: a desk).  ``None`` keeps the curve's own ambient; setting it without
+    #: a ``thermal`` curve is rejected because there is nothing to heat.
+    ambient_c: float | None = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -127,6 +132,10 @@ class ScenarioSpec:
             raise ValueError(f"scenario {self.name!r} lists a scheme twice")
         if self.traces_per_app < 1:
             raise ValueError("traces_per_app must be >= 1")
+        if self.ambient_c is not None and self.thermal is None:
+            raise ValueError(
+                f"scenario {self.name!r} sets ambient_c without a thermal curve"
+            )
 
     # -- resolution -------------------------------------------------------------
 
@@ -161,12 +170,19 @@ class ScenarioSpec:
         variant = self.platform_variant()
         regime = self.resolved_regime()
         system = regime.constrain(variant.derived_system())
-        model = variant.thermal_model()
+        model = self._thermal_model()
         if model is not None and self.thermal_mode == "static":
             system = model.constrain(
                 system, dwell_s=regime.session.target_duration_ms / 1000.0
             )
         return system
+
+    def _thermal_model(self):
+        """The named curve with this spec's ambient override applied."""
+        model = self.platform_variant().thermal_model()
+        if model is not None and self.ambient_c is not None:
+            model = replace(model, ambient_c=self.ambient_c)
+        return model
 
     def dynamic_thermal_model(self):
         """The live thermal model for the engines, ``None`` unless dynamic.
@@ -179,7 +195,7 @@ class ScenarioSpec:
         """
         if self.thermal_mode != "dynamic":
             return None
-        return self.platform_variant().thermal_model()
+        return self._thermal_model()
 
     @property
     def baseline(self) -> str:
@@ -217,6 +233,10 @@ class ScenarioSpec:
             # Same conditional emission: fault-free artefacts (including the
             # golden fixture) keep their exact byte shape.
             payload["faults"] = self.faults.to_dict()
+        if self.ambient_c is not None:
+            # Conditional for the same reason: pre-fleet artefacts keep
+            # their exact byte shape; from_dict defaults a missing key.
+            payload["ambient_c"] = self.ambient_c
         payload["description"] = self.description
         return payload
 
@@ -240,6 +260,7 @@ class ScenarioSpec:
             thermal=payload.get("thermal"),
             thermal_mode=payload.get("thermal_mode", "static"),
             faults=FaultSpec.from_dict(faults) if faults is not None else None,
+            ambient_c=payload.get("ambient_c"),
             description=payload.get("description", ""),
         )
 

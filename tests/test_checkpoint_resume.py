@@ -129,6 +129,97 @@ class TestResumeByteIdentity:
             ScenarioRunner(jobs=1).run(changed, journal=journal, resume=True)
 
 
+class TestMidCellResume:
+    """The shard journal makes the matrix resumable *mid-cell*: a run
+    killed part-way through a scenario's sessions restores the finished
+    sessions on --resume instead of re-simulating the whole cell."""
+
+    def test_mid_cell_crash_resume_is_byte_identical(
+        self, mini_specs, tmp_path, monkeypatch, uninterrupted_artefact
+    ):
+        import repro.runtime.simulator as simulator_module
+
+        from repro.scenarios import ShardJournal
+
+        journal = MatrixJournal(tmp_path / "run.journal")
+        shards = ShardJournal(tmp_path / "run.shards.journal")
+        original = simulator_module.Simulator.run_scheme
+        calls = {"n": 0}
+
+        def crash_mid_cell(self, traces, scheme, *args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] > 3:
+                raise KeyboardInterrupt("simulated mid-cell crash")
+            return original(self, traces, scheme, *args, **kwargs)
+
+        # Three sessions is less than one cell of the mini matrix, so the
+        # crash lands mid-cell: nothing reaches the matrix journal, only
+        # the shard journal has anything to offer a resume.
+        per_cell = mini_specs[0].n_sessions * len(mini_specs[0].schemes)
+        assert per_cell > 3
+        monkeypatch.setattr(simulator_module.Simulator, "run_scheme", crash_mid_cell)
+        with pytest.raises(KeyboardInterrupt):
+            ScenarioRunner(jobs=1).run(mini_specs, journal=journal, shards=shards)
+        assert journal.entries() == []
+        assert shards.path.exists()
+
+        replays = {"n": 0}
+
+        def count_replays(self, traces, scheme, *args, **kwargs):
+            replays["n"] += 1
+            return original(self, traces, scheme, *args, **kwargs)
+
+        monkeypatch.setattr(simulator_module.Simulator, "run_scheme", count_replays)
+        results = ScenarioRunner(jobs=1).run(
+            mini_specs, journal=journal, shards=shards, resume=True
+        )
+        out = tmp_path / "mini.json"
+        write_results(results, out, matrix="mini")
+        assert out.read_text() == uninterrupted_artefact
+        total = sum(spec.n_sessions * len(spec.schemes) for spec in mini_specs)
+        assert replays["n"] == total - 3, "journaled sessions must not re-simulate"
+
+    def test_torn_shard_tail_is_dropped_on_resume(
+        self, mini_specs, tmp_path, uninterrupted_artefact
+    ):
+        from repro.scenarios import ShardJournal
+
+        shards = ShardJournal(tmp_path / "run.shards.journal")
+        ScenarioRunner(jobs=1).run(mini_specs[:1], shards=shards)
+        lines = shards.path.read_text().splitlines()
+        shards.path.write_text(
+            "\n".join(lines[:2]) + "\n" + lines[2][: len(lines[2]) // 2]
+        )
+        results = ScenarioRunner(jobs=1).run(mini_specs, shards=shards, resume=True)
+        out = tmp_path / "mini.json"
+        write_results(results, out, matrix="mini")
+        assert out.read_text() == uninterrupted_artefact
+
+    def test_fresh_run_clears_a_stale_shard_journal(self, mini_specs, tmp_path):
+        from repro.scenarios import ShardJournal
+
+        shards = ShardJournal(tmp_path / "run.shards.journal")
+        ScenarioRunner(jobs=1).run(mini_specs[:1], shards=shards)
+        n_first = len(shards.path.read_text().splitlines())
+        # Without resume the journal must restart from scratch, or stale
+        # shards from an earlier matrix would satisfy a later resume.
+        ScenarioRunner(jobs=1).run(mini_specs[1:2], shards=shards)
+        n_second = len(shards.path.read_text().splitlines())
+        assert n_second == mini_specs[1].n_sessions * len(mini_specs[1].schemes)
+        assert n_first == mini_specs[0].n_sessions * len(mini_specs[0].schemes)
+
+    def test_parallel_resume_matches_serial_resume(self, mini_specs, tmp_path):
+        from repro.scenarios import ShardJournal
+
+        shards = ShardJournal(tmp_path / "run.shards.journal")
+        ScenarioRunner(jobs=1).run(mini_specs[:2], shards=shards)
+        # Drop the matrix journal on the floor: every cell re-runs, but the
+        # journaled sessions are restored — through the parallel path too.
+        serial = ScenarioRunner(jobs=1).run(mini_specs, shards=shards, resume=True)
+        parallel = ScenarioRunner(jobs=2).run(mini_specs, shards=shards, resume=True)
+        assert [r.to_dict() for r in parallel] == [r.to_dict() for r in serial]
+
+
 class TestArtefactIO:
     def test_write_results_is_atomic(self, mini_specs, tmp_path):
         out = tmp_path / "a.json"

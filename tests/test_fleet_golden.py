@@ -1,0 +1,97 @@
+"""Golden-artefact differential test for the fleet-population pipeline.
+
+``tests/fixtures/FLEET_golden.json`` is a committed, fixed-seed evaluation
+of a small device population spanning every fleet axis (platform variants,
+regimes, app mixes, thermal curves x ambients, a fault preset).  This test
+re-runs that fleet and compares the full ``FLEET_*.json`` payload — the
+sampled devices, every per-device metric, the population percentiles, and
+the per-slice win/loss table — against the fixture, so any drift in
+sampling *or* simulation *or* aggregation fails loudly instead of shipping
+silently.  It extends the ``SCENARIOS_golden.json`` discipline one layer
+up: that fixture pins the per-cell numbers, this one pins the population
+statistics computed over them.
+
+When a change intentionally moves the numbers, regenerate and commit::
+
+    PYTHONPATH=src python tests/test_fleet_golden.py --regenerate
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.fleet import FleetRunner, FleetSpec, fleet_to_payload
+
+GOLDEN_PATH = Path(__file__).parent / "fixtures" / "FLEET_golden.json"
+
+
+def golden_fleet() -> FleetSpec:
+    """The committed population: small, PES-free, spanning every axis."""
+    return FleetSpec(
+        name="golden",
+        size=8,
+        seed=777_000,
+        schemes=("Interactive", "EBS"),
+        apps_per_device=1,
+        faults=((None, 2.0), ("dvfs_flaky", 1.0)),
+        slice_by=("regime", "thermal"),
+    )
+
+
+def replay_payload(jobs: int = 1) -> dict:
+    """Evaluate the golden fleet and return its artefact payload.
+
+    Serialised through JSON so the comparison sees exactly what a written
+    artefact would contain; ``jobs`` is not recorded — the payload is a
+    pure function of the fleet."""
+    result = FleetRunner(jobs=jobs).run(golden_fleet())
+    return json.loads(json.dumps(fleet_to_payload(result)))
+
+
+class TestFleetGoldenArtefact:
+    def test_fixture_exists_and_is_well_formed(self):
+        payload = json.loads(GOLDEN_PATH.read_text())
+        fleet = golden_fleet()
+        assert payload["fleet"] == fleet.to_dict()
+        assert payload["n_devices"] == fleet.size
+        assert list(payload["population"]) == list(fleet.schemes)
+        assert [row["index"] for row in payload["devices"]] == list(range(fleet.size))
+
+    def test_replay_matches_golden_bit_for_bit(self):
+        from test_scenarios_golden import _describe_drift
+
+        expected = json.loads(GOLDEN_PATH.read_text())
+        actual = replay_payload(jobs=1)
+        if actual != expected:
+            drifts = _describe_drift(expected, actual)
+            preview = "\n  ".join(drifts[:20])
+            raise AssertionError(
+                f"{len(drifts)} value(s) drifted from {GOLDEN_PATH.name}.\n"
+                "If this change is intentional, regenerate with:\n"
+                "  PYTHONPATH=src python tests/test_fleet_golden.py --regenerate\n"
+                f"First drifts:\n  {preview}"
+            )
+
+    def test_parallel_replay_matches_golden_too(self):
+        assert replay_payload(jobs=2) == json.loads(GOLDEN_PATH.read_text())
+
+
+def main() -> None:  # pragma: no cover - developer tool
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--regenerate", action="store_true", help="rewrite the golden fixture"
+    )
+    args = parser.parse_args()
+    if not args.regenerate:
+        parser.error("nothing to do; pass --regenerate to rewrite the fixture")
+    payload = replay_payload(jobs=1)
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {GOLDEN_PATH} ({payload['n_devices']} devices)")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()
