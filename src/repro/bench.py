@@ -47,7 +47,6 @@ keeping tier-1 fast while the benches stay runnable on demand.
 
 from __future__ import annotations
 
-import json
 import subprocess
 import time
 from dataclasses import dataclass
@@ -58,6 +57,7 @@ from repro.core.optimizer.schedule import EventSpec
 from repro.runtime.simulator import SimulationSetup, Simulator
 from repro.schedulers.base import enumerate_options
 from repro.traces.generator import TraceGenerator
+from repro.utils import write_json_atomic
 from repro.webapp.apps import AppCatalog, SEEN_APPS
 
 #: Applications of the profiled oracle workload the solver bench replays.
@@ -122,10 +122,8 @@ def git_rev() -> str:
 
 def write_bench_json(result: BenchResult, results_dir: Path | None = None) -> Path:
     directory = results_dir or _default_results_dir()
-    directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"BENCH_{result.name}.json"
-    path.write_text(json.dumps(result.to_json(), indent=2) + "\n")
-    return path
+    return write_json_atomic(result.to_json(), path)
 
 
 def _oracle_windows(setup: SimulationSetup) -> list[list[EventSpec]]:
@@ -581,6 +579,39 @@ def bench_fleet(jobs: int = 2, quick: bool = False) -> BenchResult:
     )
 
 
+def bench_lint(quick: bool = False) -> BenchResult:
+    """Throughput of the invariant linter over the whole ``repro`` package.
+
+    The lint step gates CI, so its wall time is a perf surface like any
+    other: a rule that goes accidentally quadratic in AST nodes shows up
+    here as an ops/s collapse.  One "op" is one linted file; ``quick``
+    runs a single pass, the full bench repeats to amortise import costs.
+    """
+    import repro
+    from repro.lint import LintEngine
+
+    engine = LintEngine(Path(repro.__file__).resolve().parent)
+    repeats = 1 if quick else 5
+    start = time.perf_counter()
+    for _ in range(repeats):
+        report = engine.run()
+    elapsed = time.perf_counter() - start
+    files_linted = report.n_files * repeats
+    return BenchResult(
+        name="lint",
+        ops_per_sec=files_linted / elapsed,
+        wall_s=elapsed,
+        git_rev=git_rev(),
+        extra={
+            "n_files": report.n_files,
+            "repeats": repeats,
+            "n_rules": len(engine.rules),
+            "n_findings": len(report.findings),
+            "suppressed": report.suppressed,
+        },
+    )
+
+
 #: Bench name -> factory taking the shared (jobs, quick) knobs.
 BENCHES = {
     "solver": lambda jobs, quick: bench_solver(min_duration_s=0.2 if quick else 3.0),
@@ -596,6 +627,7 @@ BENCHES = {
     "faults": lambda jobs, quick: bench_faults(jobs=jobs, quick=quick),
     "fault_search": lambda jobs, quick: bench_fault_search(quick=quick),
     "fleet": lambda jobs, quick: bench_fleet(jobs=jobs, quick=quick),
+    "lint": lambda jobs, quick: bench_lint(quick=quick),
 }
 
 

@@ -1,6 +1,6 @@
 """Command-line interface for the PES reproduction.
 
-Eight subcommands cover the whole workflow:
+Nine subcommands cover the whole workflow:
 
 * ``generate``  — synthesise interaction traces and save them to JSON,
 * ``train``     — train the event predictor and report Fig. 8 accuracy,
@@ -23,7 +23,13 @@ Eight subcommands cover the whole workflow:
   folds per-shard aggregates into mergeable population aggregates, and
   writes ``results/FLEET_*.json`` with per-scheme p50/p95/p99 energy/QoS/
   throttle-residency percentiles and a per-slice win/loss table,
-* ``bench``     — run the perf-regression benches (writes ``BENCH_*.json``).
+* ``bench``     — run the perf-regression benches (writes ``BENCH_*.json``),
+* ``lint``      — statically check the package against its reproducibility
+  invariants (``repro.lint``): determinism in payload modules
+  (``DET-*``), rate-guarded RNG draws in fault seams (``RNG-GUARD``),
+  ExactSum accumulation in metrics merge paths (``SUM-EXACT``), and
+  atomic artefact/journal I/O (``ART-*``); non-zero exit on any finding
+  that is neither inline-justified nor baselined (``docs/LINTING.md``).
 
 Thermal curves apply in one of two modes (``--thermal-mode`` on
 ``scenarios sweep``, ``thermal_mode`` on specs/matrices): ``static``
@@ -65,6 +71,7 @@ Examples::
     python -m repro fleet run --fleet smoke --jobs 4
     python -m repro fleet report results/FLEET_smoke.json
     python -m repro bench --only thermal faults fault_search fleet
+    python -m repro lint --format json --out results/LINT_report.json
 
 ``evaluate``, ``scenarios run``/``sweep``, and ``bench`` take ``--jobs N``
 to fan the (scheme x trace) replays out over N worker processes
@@ -484,6 +491,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "faults",
             "fault_search",
             "fleet",
+            "lint",
         ],
         help="run only these benches",
     )
@@ -491,6 +499,45 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="smoke-test sizes (artefact schema unchanged, numbers not comparable)",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically check the repro package against its invariants",
+        description=(
+            "Run the AST-based invariant linter (repro.lint) over the repro "
+            "package: determinism (DET-*), fault-seam RNG guarding "
+            "(RNG-GUARD), exact-sum accumulation (SUM-EXACT), and artefact "
+            "safety (ART-*).  Exits non-zero when any finding is neither "
+            "inline-suppressed ('# repro: allow[RULE-ID] — <reason>') nor "
+            "recorded in the baseline.  See docs/LINTING.md."
+        ),
+    )
+    lint.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format on stdout (default: text)",
+    )
+    lint.add_argument(
+        "--root",
+        default=None,
+        help="source root to lint (default: the installed repro package)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        help="JSON baseline of grandfathered findings (absent file = empty)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current findings into --baseline and exit 0",
+    )
+    lint.add_argument(
+        "--out",
+        default=None,
+        help="also write the JSON report to this path (atomic write)",
     )
     return parser
 
@@ -906,12 +953,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
-    import json
     from pathlib import Path
 
     from repro.faults import FAULT_PRESETS
     from repro.faults.search import SEARCH_TARGETS, run_search
     from repro.scenarios.checkpoint import ShardJournal
+    from repro.utils import write_json_atomic
 
     if args.action == "list":
         print("fault presets:")
@@ -943,10 +990,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         resume=args.resume,
         progress=print,
     )
-    out.parent.mkdir(parents=True, exist_ok=True)
-    with open(out, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
+    write_json_atomic(report, out)
     journal.clear()
     best = report["best"]
     print(
@@ -1048,6 +1092,47 @@ def _cmd_platforms(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    import repro
+    from repro.lint import LintEngine, load_baseline, write_baseline
+    from repro.utils import write_json_atomic
+
+    root = Path(args.root) if args.root is not None else Path(repro.__file__).parent
+    engine = LintEngine(root)
+
+    if args.write_baseline:
+        if args.baseline is None:
+            print("--write-baseline requires --baseline <path>", file=sys.stderr)
+            return 2
+        report = engine.run(baseline=None)
+        write_baseline(report.findings, args.baseline)
+        print(
+            f"recorded {len(report.findings)} finding(s) into baseline "
+            f"{args.baseline} ({report.n_files} files linted)"
+        )
+        return 0
+
+    baseline = load_baseline(args.baseline) if args.baseline is not None else None
+    report = engine.run(baseline=baseline)
+
+    if args.out is not None:
+        write_json_atomic(report.to_payload(), args.out)
+    if args.format == "json":
+        print(json.dumps(report.to_payload(), indent=2))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        summary = (
+            f"{len(report.findings)} finding(s) in {report.n_files} files "
+            f"({report.suppressed} suppressed, {report.baselined} baselined)"
+        )
+        print(("FAIL: " if report.findings else "ok: ") + summary)
+    return 0 if report.ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point used by ``python -m repro`` and the console script."""
     args = _build_parser().parse_args(argv)
@@ -1060,6 +1145,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "faults": _cmd_faults,
         "fleet": _cmd_fleet,
         "bench": _cmd_bench,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -21,7 +21,6 @@ uninterrupted run.
 from __future__ import annotations
 
 import json
-import os
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Sequence
@@ -32,6 +31,7 @@ from repro.fleet.population import Device, DevicePopulation, FleetSpec
 from repro.runtime.metrics import SessionResult, StreamingAggregator
 from repro.scenarios.checkpoint import ArtefactError, ShardJournal
 from repro.scenarios.runner import ScenarioRunner
+from repro.utils import write_json_atomic
 from repro.webapp.apps import AppCatalog
 
 
@@ -236,14 +236,8 @@ def fleet_to_payload(result: FleetResult) -> dict:
 
 
 def write_fleet_results(result: FleetResult, path: str | Path) -> Path:
-    """Atomically write a ``FLEET_*.json`` artefact (temp + ``os.replace``)."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    payload = fleet_to_payload(result)
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps(payload, indent=2) + "\n")
-    os.replace(tmp, path)
-    return path
+    """Atomically write a ``FLEET_*.json`` artefact (fsync + ``os.replace``)."""
+    return write_json_atomic(fleet_to_payload(result), path)
 
 
 def load_fleet_results(path: str | Path) -> dict:

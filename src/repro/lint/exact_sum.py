@@ -1,0 +1,111 @@
+"""SUM-EXACT: accumulator metrics must go through ExactSum partials.
+
+``StreamingAggregator.merge`` promises merge ≡ sequential fold **bit
+identically** for any shard boundaries — the contract the fleet layer and
+every ``--jobs N`` byte-identity test stand on.  Plain float ``+=`` is
+associative only in exact arithmetic; under IEEE-754 rounding, the same
+sessions folded across different shard splits drift in the last ulp,
+which is precisely the bug PR 8 fixed by moving every float accumulator
+to Shewchuk partials (:class:`repro.runtime.metrics.ExactSum`).
+
+This rule keeps that fix from regressing, in the metrics modules:
+
+* inside any class that defines ``merge`` (an aggregator), ``self.x +=``
+  on a float-suffixed attribute (``_mj``, ``_ms``, ``_c`` …) is flagged —
+  integers may accumulate plainly (exact), floats must be ``ExactSum``;
+* a ``sum(...)`` / ``math.fsum(...)`` / ``numpy.sum(...)`` call whose
+  argument mentions a float-suffixed attribute is flagged anywhere in the
+  module — summing shard subtotals with ``sum`` reintroduces fold-order
+  dependence.  (:class:`ExactSum` itself is exempt: its ``value`` is the
+  one sanctioned ``fsum``, over non-overlapping partials.)
+
+Intentional per-session sums — fixed event order, never crossing a shard
+boundary — carry inline ``# repro: allow[SUM-EXACT]`` justifications.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Rule
+
+#: Attribute suffixes naming float-valued quantities in this codebase
+#: (millijoules, milliseconds, degrees C, latencies, energies).
+FLOAT_SUFFIXES = ("_mj", "_ms", "_c", "_sec", "_energy", "_latency", "_joules")
+
+_SUM_CALLS = {"sum", "math.fsum", "numpy.sum", "builtins.sum"}
+
+
+def applies(relpath: str) -> bool:
+    return relpath.endswith("metrics.py")
+
+
+def _is_float_attr(name: str) -> bool:
+    return name.endswith(FLOAT_SUFFIXES)
+
+
+def _mentions_float_attr(node: ast.AST) -> bool:
+    return any(
+        isinstance(sub, ast.Attribute) and _is_float_attr(sub.attr)
+        for sub in ast.walk(node)
+    )
+
+
+def _merge_classes(ctx: FileContext) -> list[ast.ClassDef]:
+    return [
+        node
+        for node in ast.walk(ctx.tree)
+        if isinstance(node, ast.ClassDef)
+        and node.name != "ExactSum"
+        and any(
+            isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and stmt.name == "merge"
+            for stmt in node.body
+        )
+    ]
+
+
+def _check(ctx: FileContext) -> Iterator:
+    merge_classes = set(_merge_classes(ctx))
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add):
+            target = node.target
+            if (
+                isinstance(target, ast.Attribute)
+                and _is_float_attr(target.attr)
+                and ctx.enclosing_class(node) in merge_classes
+            ):
+                yield ctx.finding(
+                    "SUM-EXACT",
+                    node,
+                    f"plain float '+=' on accumulator '{target.attr}' in a "
+                    "merge-capable aggregator; merge ≡ fold bit-identity "
+                    "requires an ExactSum (Shewchuk partials) accumulator",
+                )
+        elif isinstance(node, ast.Call):
+            resolved = ctx.resolve_call(node)
+            if resolved not in _SUM_CALLS:
+                continue
+            enclosing_class = ctx.enclosing_class(node)
+            if enclosing_class is not None and enclosing_class.name == "ExactSum":
+                continue
+            if any(_mentions_float_attr(arg) for arg in node.args):
+                yield ctx.finding(
+                    "SUM-EXACT",
+                    node,
+                    f"{resolved}(...) over float accumulator attributes; "
+                    "left-to-right float summation is fold-order dependent — "
+                    "accumulate through ExactSum (or justify with an inline "
+                    "allow if the sum can never cross a shard boundary)",
+                )
+
+
+RULES = [
+    Rule(
+        id="SUM-EXACT",
+        summary="float accumulators in metrics modules go through ExactSum",
+        check=_check,
+        applies=applies,
+    )
+]

@@ -1,0 +1,222 @@
+"""RNG-GUARD: every draw in a fault seam must be dominated by a rate guard.
+
+The fault-injection identity invariant (ROADMAP, pinned by tests on all
+five schemes) says a zero-rate category consumes *no* randomness: the RNG
+stream of a spec with ``drop_rate=0`` is bit-identical to one with the
+category absent, which is what keeps fault-free runs byte-identical to
+pre-fault-subsystem runs and lets specs grow new categories without
+perturbing old streams.  Dynamically that is enforced one anticipated
+case at a time; statically it means **every** ``rng.<draw>()`` call site
+inside an injection seam must be dominated by a guard on its category's
+rate/burst field.
+
+The check is a conservative dominance approximation over the enclosing
+function:
+
+* an ancestor ``if``/``while`` (draw in the body or else-branch, *not*
+  the test) whose test mentions a guard-ish name counts;
+* a short-circuit ``and`` chain counts when the draw sits right of a
+  guard-ish operand (``faults.drop_rate and rng.random() < ...``);
+* a guard-ish conditional expression (``x if rate else y``) counts;
+* an early bail-out counts: a prior ``if <guard-ish>: return/raise/
+  continue/break`` statement dominates everything after it;
+* a comparison does **not** count — ``rng.random() < rate`` draws
+  whether or not the comparison holds, which is exactly the bug class.
+
+"Guard-ish" means the expression mentions a name or attribute containing
+one of the rate-vocabulary tokens (``rate``, ``burst``, ``null``,
+``noise``, ``stuck``, ``active``), either directly or through a local
+variable assigned from such an expression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Rule
+
+#: Methods that consume randomness from a generator object.
+DRAW_METHODS = frozenset(
+    {
+        "random",
+        "uniform",
+        "gauss",
+        "normalvariate",
+        "lognormvariate",
+        "expovariate",
+        "triangular",
+        "betavariate",
+        "gammavariate",
+        "paretovariate",
+        "weibullvariate",
+        "vonmisesvariate",
+        "randint",
+        "randrange",
+        "getrandbits",
+        "randbytes",
+        "choice",
+        "choices",
+        "sample",
+        "shuffle",
+        "normal",
+        "integers",
+        "standard_normal",
+    }
+)
+
+#: Vocabulary of the rate/burst fields draws must be guarded on.
+GUARD_TOKENS = ("rate", "burst", "null", "noise", "stuck", "active")
+
+
+def applies(relpath: str) -> bool:
+    """Injection seams: ``faults/injector.py``-shaped modules."""
+    return relpath.startswith("faults/") and relpath.endswith("injector.py")
+
+
+def _mentions_rng(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and "rng" in sub.id.lower():
+            return True
+        if isinstance(sub, ast.Attribute) and "rng" in sub.attr.lower():
+            return True
+    return False
+
+
+def _names_in(node: ast.AST) -> Iterator[str]:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            yield sub.id
+        elif isinstance(sub, ast.Attribute):
+            yield sub.attr
+
+
+def _guardish(node: ast.AST, guard_names: frozenset[str]) -> bool:
+    for name in _names_in(node):
+        lowered = name.lower()
+        if name in guard_names or any(token in lowered for token in GUARD_TOKENS):
+            return True
+    return False
+
+
+def _local_guard_names(func: ast.AST) -> frozenset[str]:
+    """Local variables assigned from guard-ish expressions.
+
+    A small fixpoint so ``a = spec.rate > 0; b = a`` marks both; bounded
+    because each pass only ever adds names.
+    """
+    assignments: list[tuple[list[str], ast.AST]] = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if targets:
+                assignments.append((targets, node.value))
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name):
+                assignments.append(([node.target.id], node.value))
+    names: set[str] = set()
+    for _ in range(4):
+        added = False
+        frozen = frozenset(names)
+        for targets, value in assignments:
+            if _guardish(value, frozen):
+                for target in targets:
+                    if target not in names:
+                        names.add(target)
+                        added = True
+        if not added:
+            break
+    return frozenset(names)
+
+
+def _is_terminal(stmt: ast.stmt) -> bool:
+    return isinstance(stmt, (ast.Return, ast.Raise, ast.Continue, ast.Break))
+
+
+def _early_bailout_lines(func: ast.AST, guard_names: frozenset[str]) -> list[int]:
+    """Line numbers of ``if <guard-ish>: return/raise/...`` statements."""
+    lines = []
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.If)
+            and node.body
+            and all(_is_terminal(stmt) for stmt in node.body)
+            and not node.orelse
+            and _guardish(node.test, guard_names)
+        ):
+            lines.append(node.lineno)
+    return lines
+
+
+def _is_guarded(
+    ctx: FileContext,
+    draw: ast.Call,
+    func: ast.AST,
+    guard_names: frozenset[str],
+    bailout_lines: list[int],
+) -> bool:
+    if any(line < draw.lineno for line in bailout_lines):
+        return True
+    child: ast.AST = draw
+    for ancestor in ctx.ancestors(draw):
+        if ancestor is func:
+            break
+        if isinstance(ancestor, (ast.If, ast.While)):
+            # Only the branches are protected; a draw *inside the test*
+            # executes unconditionally (the `if rng.random() < rate` bug).
+            if child is not ancestor.test and _guardish(ancestor.test, guard_names):
+                return True
+        elif isinstance(ancestor, ast.IfExp):
+            if child is not ancestor.test and _guardish(ancestor.test, guard_names):
+                return True
+        elif isinstance(ancestor, ast.BoolOp) and isinstance(ancestor.op, ast.And):
+            try:
+                index = ancestor.values.index(child)
+            except ValueError:
+                index = -1
+            if index > 0 and any(
+                _guardish(value, guard_names) for value in ancestor.values[:index]
+            ):
+                return True
+        child = ancestor
+    return False
+
+
+def _check(ctx: FileContext) -> Iterator:
+    functions = [
+        node
+        for node in ast.walk(ctx.tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    for func in functions:
+        guard_names = _local_guard_names(func)
+        bailouts = _early_bailout_lines(func, guard_names)
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            if ctx.enclosing_function(node) is not func:
+                continue  # nested function draws are checked in their own scope
+            if not (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in DRAW_METHODS
+                and _mentions_rng(node.func.value)
+            ):
+                continue
+            if not _is_guarded(ctx, node, func, guard_names, bailouts):
+                yield ctx.finding(
+                    "RNG-GUARD",
+                    node,
+                    f"rng.{node.func.attr}() is not dominated by a rate/burst "
+                    "guard; zero-rate fault categories must consume no "
+                    "randomness (guard the draw or bail out early on the rate)",
+                )
+
+
+RULES = [
+    Rule(
+        id="RNG-GUARD",
+        summary="fault-seam RNG draws are dominated by rate guards",
+        check=_check,
+        applies=applies,
+    )
+]

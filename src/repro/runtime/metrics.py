@@ -463,6 +463,7 @@ class SessionResult:
 
     @property
     def active_energy_mj(self) -> float:
+        # repro: allow[SUM-EXACT] — per-session sum in fixed event order; never crosses a shard boundary
         return sum(o.active_energy_mj for o in self.outcomes)
 
     @property
@@ -490,6 +491,7 @@ class SessionResult:
     def mean_latency_ms(self) -> float:
         if not self.outcomes:
             return 0.0
+        # repro: allow[SUM-EXACT] — per-session mean in fixed event order; never crosses a shard boundary
         return sum(o.latency_ms for o in self.outcomes) / len(self.outcomes)
 
     # -- speculation --------------------------------------------------------------

@@ -23,8 +23,12 @@ byte-identical to an uninterrupted run's.
 Two properties make resume safe:
 
 * **Torn tails are dropped, not fatal.**  A crash mid-append leaves a
-  truncated last line; :meth:`MatrixJournal.entries` stops at the first
-  unparseable line, so that cell simply re-runs.
+  truncated last line; the newline-strict scan (:func:`_scan_jsonl`) stops
+  at the first line that is unparseable *or* missing its terminating
+  newline, so that cell simply re-runs — and
+  :meth:`MatrixJournal.open_for_resume` /
+  :meth:`ShardJournal.open_for_resume` truncate the torn bytes before any
+  new append can concatenate onto them.
 * **Stale entries are ignored by content, not position.**  A journal entry
   only counts as completed if its serialised spec matches a spec of the
   *current* run exactly, so editing the matrix between runs silently
@@ -59,6 +63,34 @@ def _spec_key(spec_payload: dict) -> str:
     return json.dumps(spec_payload, sort_keys=True)
 
 
+def _scan_jsonl(path: Path) -> tuple[list[dict], int]:
+    """Parsed JSON-lines records plus the byte offset of the valid prefix.
+
+    Newline-strict: a last line without its trailing ``\\n`` is torn even
+    when it happens to parse as complete JSON — the crash may have cut the
+    write anywhere, and a later append would concatenate onto those bytes
+    and corrupt *two* records.  Scanning stops at the first torn or
+    unparseable line; the offset lets ``open_for_resume`` cut the torn
+    bytes off before new appends land.
+    """
+    if not path.exists():
+        return [], 0
+    records: list[dict] = []
+    valid_end = 0
+    with open(path, "rb") as handle:
+        for raw in handle:
+            if not raw.endswith(b"\n"):
+                break
+            stripped = raw.decode("utf-8").strip()
+            if stripped:
+                try:
+                    records.append(json.loads(stripped))
+                except json.JSONDecodeError:
+                    break
+            valid_end += len(raw)
+    return records, valid_end
+
+
 @dataclass
 class MatrixJournal:
     """Append-only per-cell checkpoint file for a scenario matrix run."""
@@ -78,23 +110,30 @@ class MatrixJournal:
             os.fsync(handle.fileno())
 
     def entries(self) -> list[dict]:
-        """Parsed journal entries, dropping a torn tail from a mid-write crash."""
-        if not self.path.exists():
-            return []
-        entries: list[dict] = []
-        with open(self.path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    entries.append(json.loads(line))
-                except json.JSONDecodeError:
-                    # A torn last line means the run died mid-append; the
-                    # cell it belonged to simply re-runs.  Anything after it
-                    # cannot be trusted either.
-                    break
-        return entries
+        """Parsed journal entries, dropping a torn tail from a mid-write crash.
+
+        Newline-strict (see :func:`_scan_jsonl`): a final line missing its
+        ``\\n`` is torn even if it parses, because a later append would
+        concatenate onto it and corrupt both records.  The cell a torn
+        line belonged to simply re-runs.
+        """
+        records, _ = _scan_jsonl(self.path)
+        return records
+
+    def open_for_resume(self) -> list[dict]:
+        """:meth:`entries`, truncating any torn tail first.
+
+        Called at the start of a resumed run so that subsequent
+        :meth:`append` calls land exactly where an uninterrupted run would
+        have written them — the resumed journal file stays byte-identical
+        to an uninterrupted one, and a complete-but-unterminated last line
+        can never be corrupted by concatenation.
+        """
+        records, valid_end = _scan_jsonl(self.path)
+        if self.path.exists() and valid_end < self.path.stat().st_size:
+            with open(self.path, "rb+") as handle:
+                handle.truncate(valid_end)
+        return records
 
     def completed_results(
         self, specs: Sequence[ScenarioSpec]
@@ -171,27 +210,10 @@ class ShardJournal:
     def _scan(self) -> tuple[list[dict], int]:
         """Parsed records plus the byte offset where the valid prefix ends.
 
-        Stops at the first torn record — a line without a trailing newline
-        or with unparseable JSON — exactly like
-        :meth:`MatrixJournal.entries`; the offset lets
-        :meth:`open_for_resume` cut the torn bytes off.
+        Delegates to :func:`_scan_jsonl` — the same newline-strict scan
+        :class:`MatrixJournal` uses.
         """
-        if not self.path.exists():
-            return [], 0
-        records: list[dict] = []
-        valid_end = 0
-        with open(self.path, "rb") as handle:
-            for raw in handle:
-                if not raw.endswith(b"\n"):
-                    break
-                stripped = raw.decode("utf-8").strip()
-                if stripped:
-                    try:
-                        records.append(json.loads(stripped))
-                    except json.JSONDecodeError:
-                        break
-                valid_end += len(raw)
-        return records, valid_end
+        return _scan_jsonl(self.path)
 
     @staticmethod
     def _fold(records: list[dict]) -> tuple[dict[str, dict], dict[str, dict[str, dict]]]:

@@ -16,7 +16,6 @@ without importing this package's classes.
 from __future__ import annotations
 
 import json
-import os
 import warnings
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -35,6 +34,7 @@ from repro.runtime.simulator import SimulationSetup
 from repro.scenarios.checkpoint import ArtefactError, MatrixJournal, ShardJournal, _spec_key
 from repro.scenarios.spec import ScenarioSpec
 from repro.traces.generator import TraceGenerator
+from repro.utils import write_json_atomic
 from repro.webapp.apps import AppCatalog, SEEN_APPS
 
 
@@ -311,6 +311,10 @@ class ScenarioRunner:
                         stacklevel=2,
                     )
                 else:
+                    # Truncate any torn tail *before* reading completed
+                    # cells, so the appends this resumed run makes can
+                    # never concatenate onto a half-written last line.
+                    journal.open_for_resume()
                     completed = journal.completed_results(spec_list)
                     if not completed:
                         warnings.warn(
@@ -433,18 +437,13 @@ def write_results(
 ) -> Path:
     """Atomically write a ``SCENARIOS_*.json`` artefact.
 
-    The payload lands in a sibling temp file first and is moved into place
-    with :func:`os.replace`, so a crash mid-write can never leave a
+    Routed through :func:`repro.utils.write_json_atomic` (temp sibling,
+    fsync, :func:`os.replace`), so a crash mid-write can never leave a
     truncated artefact at ``path`` — readers see either the old complete
     file or the new complete file.
     """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     payload = results_to_payload(results, matrix=matrix)
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps(payload, indent=2) + "\n")
-    os.replace(tmp, path)
-    return path
+    return write_json_atomic(payload, path)
 
 
 def load_results(path: str | Path) -> tuple[dict, list[ScenarioResult]]:

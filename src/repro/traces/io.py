@@ -13,6 +13,7 @@ from typing import Any
 
 from repro.hardware.dvfs import DvfsModel
 from repro.traces.trace import Trace, TraceEvent, TraceSet
+from repro.utils import write_json_atomic
 from repro.webapp.events import EventType
 
 FORMAT_VERSION = 1
@@ -70,7 +71,9 @@ def save_traces(traces: TraceSet, path: str | Path) -> None:
         "version": FORMAT_VERSION,
         "traces": [trace_to_dict(t) for t in traces],
     }
-    Path(path).write_text(json.dumps(payload))
+    # indent=None / no trailing newline: preserve the historical byte-exact
+    # format so existing trace files and their hashes stay stable.
+    write_json_atomic(payload, path, indent=None, trailing_newline=False)
 
 
 def load_traces(path: str | Path) -> TraceSet:

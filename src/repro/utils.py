@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 import hashlib
+import json
 import os
+from pathlib import Path
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -44,6 +46,40 @@ def pool_chunk_size(n_items: int, workers: int, chunks_per_worker: int = 8) -> i
     less IPC overhead.
     """
     return max(1, n_items // (workers * chunks_per_worker))
+
+
+def write_text_atomic(text: str, path: Path | str) -> Path:
+    """Crash-safe file write: temp sibling, flush + fsync, ``os.replace``.
+
+    Readers either see the complete old contents or the complete new
+    contents, never a truncated mix — including across power loss, because
+    the data is fsynced *before* the rename makes it reachable.  Every
+    artefact writer in the repo routes through here (enforced by the
+    ``ART-ATOMIC`` lint rule).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def write_json_atomic(
+    payload: object,
+    path: Path | str,
+    *,
+    indent: int | None = 2,
+    trailing_newline: bool = True,
+) -> Path:
+    """Serialise ``payload`` as JSON and write it via :func:`write_text_atomic`."""
+    text = json.dumps(payload, indent=indent)
+    if trailing_newline:
+        text += "\n"
+    return write_text_atomic(text, path)
 
 
 def stable_seed(*parts: object) -> int:

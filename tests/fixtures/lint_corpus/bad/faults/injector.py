@@ -1,0 +1,17 @@
+"""Bad: fault-seam RNG draws not dominated by a rate guard."""
+
+
+class LeakySeam:
+    def __init__(self, rng, spec):
+        self._rng = rng
+        self._spec = spec
+
+    def flip_prediction(self) -> bool:
+        # Draws unconditionally: a zero-rate spec still consumes randomness.
+        return self._rng.random() < self._spec.flip_rate
+
+    def sense(self, value: float) -> float:
+        offset = self._rng.gauss(0.0, 1.0)
+        if self._spec.sensor_noise_rate:
+            return value + offset
+        return value

@@ -1,0 +1,23 @@
+"""Bad: global-state and OS-entropy randomness in payload code."""
+
+import os
+import random
+import uuid
+
+import numpy as np
+
+
+def jitter() -> float:
+    return random.random()
+
+
+def noise(n: int):
+    return np.random.rand(n)
+
+
+def unseeded_generator():
+    return np.random.default_rng()
+
+
+def run_token() -> str:
+    return uuid.uuid4().hex + os.urandom(4).hex()

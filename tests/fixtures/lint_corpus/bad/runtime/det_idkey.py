@@ -1,0 +1,12 @@
+"""Bad: object ids used as mapping keys."""
+
+
+def index_devices(devices):
+    table = {}
+    for device in devices:
+        table[id(device)] = device
+    return table
+
+
+def literal_table(a, b):
+    return {id(a): a, id(b): b}

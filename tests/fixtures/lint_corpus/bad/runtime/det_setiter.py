@@ -1,0 +1,12 @@
+"""Bad: direct iteration over set values."""
+
+
+def scheme_rows(schemes):
+    rows = []
+    for scheme in set(schemes):
+        rows.append({"scheme": scheme})
+    return rows
+
+
+def unique_apps(traces):
+    return [app for app in {t.app_name for t in traces}]

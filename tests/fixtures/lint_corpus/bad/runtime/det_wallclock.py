@@ -1,0 +1,10 @@
+"""Bad: payload code reads the wall clock."""
+
+import time
+from datetime import datetime
+
+
+def stamp_payload(payload: dict) -> dict:
+    payload["generated_at"] = time.time()
+    payload["pretty"] = datetime.now().isoformat()
+    return payload

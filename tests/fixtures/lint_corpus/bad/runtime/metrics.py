@@ -1,0 +1,19 @@
+"""Bad: plain float accumulation in a merge-capable aggregator."""
+
+
+class Aggregator:
+    def __init__(self):
+        self.total_energy_mj = 0.0
+        self.n_sessions = 0
+
+    def add(self, session):
+        self.total_energy_mj += session.energy_mj
+        self.n_sessions += 1
+
+    def merge(self, other):
+        self.total_energy_mj += other.total_energy_mj
+        self.n_sessions += other.n_sessions
+
+
+def shard_total(shards):
+    return sum(shard.total_energy_mj for shard in shards)

@@ -1,0 +1,17 @@
+"""Bad: suppression misuse — no reason, stale, and unsuppressable meta."""
+
+import time
+
+
+def no_reason() -> float:
+    return time.time()  # repro: allow[DET-WALLCLOCK]
+
+
+def stale() -> int:
+    # repro: allow[DET-GLOBALRNG] — nothing on the next line draws randomness
+    return 7
+
+
+def meta() -> int:
+    # repro: allow[LINT-SUPPRESS] — the meta rule must not be silenceable
+    return 7

@@ -1,0 +1,19 @@
+"""Bad: artefact writes that are not crash-atomic."""
+
+import json
+import os
+from pathlib import Path
+
+
+def write_results(payload: dict, path: Path) -> Path:
+    # Renames into place but never fsyncs: after a power loss the rename
+    # can survive while the data does not.
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def dump_report(report: dict, path: Path) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)

@@ -1,0 +1,12 @@
+"""Bad: a hand-rolled journal append outside the audited helpers."""
+
+
+class CellTracker:
+    def record(self, path, line: str) -> None:
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+
+
+def log_shard(path, record: str) -> None:
+    with open(path, mode="a") as handle:
+        handle.write(record + "\n")

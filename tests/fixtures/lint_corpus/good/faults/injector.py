@@ -1,0 +1,24 @@
+"""Good: every fault-seam draw is dominated by a rate/burst guard."""
+
+
+class GuardedSeam:
+    def __init__(self, rng, spec):
+        self._rng = rng
+        self._spec = spec
+
+    def flip_prediction(self) -> bool:
+        if not self._spec.flip_rate:
+            return False
+        return self._rng.random() < self._spec.flip_rate
+
+    def sense(self, value: float) -> float:
+        # Short-circuit guard: zero-noise specs never reach the draw.
+        return value + (
+            self._spec.sensor_noise_rate and self._rng.gauss(0.0, 1.0) or 0.0
+        )
+
+    def drop(self) -> bool:
+        burst_active = self._spec.burst_rate > 0
+        if burst_active:
+            return self._rng.random() < self._spec.burst_rate
+        return False

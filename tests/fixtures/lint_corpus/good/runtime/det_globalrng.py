@@ -1,0 +1,17 @@
+"""Good: all randomness flows from explicit seeded generators."""
+
+import random
+
+import numpy as np
+
+from repro.utils import stable_seed
+
+
+def jitter(trace_seed: int) -> float:
+    rng = random.Random(stable_seed("jitter", trace_seed))
+    return rng.random()
+
+
+def noise(n: int, seed: int):
+    rng = np.random.default_rng(stable_seed("noise", seed))
+    return rng.normal(size=n)

@@ -1,0 +1,8 @@
+"""Good: mappings keyed by stable content, not object identity."""
+
+
+def index_devices(devices):
+    table = {}
+    for device in devices:
+        table[device.name] = device
+    return table

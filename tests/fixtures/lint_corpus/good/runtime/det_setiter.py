@@ -1,0 +1,13 @@
+"""Good: set contents are sorted before any order-sensitive iteration."""
+
+
+def scheme_rows(schemes):
+    rows = []
+    for scheme in sorted(set(schemes)):
+        rows.append({"scheme": scheme})
+    return rows
+
+
+def has_pes(schemes) -> bool:
+    # Membership tests on sets are fine; only iteration order is flagged.
+    return "PES" in set(schemes)

@@ -1,0 +1,7 @@
+"""Good: payloads are pure functions of their spec — no clock reads."""
+
+
+def stamp_payload(payload: dict, *, label: str) -> dict:
+    # Humans pick labels/filenames; payload contents never read the clock.
+    payload["label"] = label
+    return payload

@@ -1,0 +1,21 @@
+"""Good: float accumulators ride ExactSum; ints may accumulate plainly."""
+
+from repro.runtime.metrics import ExactSum
+
+
+class Aggregator:
+    def __init__(self):
+        self._total_energy_mj = ExactSum()
+        self.n_sessions = 0
+
+    def add(self, session):
+        self._total_energy_mj.add(session.energy_mj)
+        self.n_sessions += 1
+
+    def merge(self, other):
+        self._total_energy_mj.merge(other._total_energy_mj)
+        self.n_sessions += other.n_sessions
+
+    @property
+    def total_energy_mj(self) -> float:
+        return self._total_energy_mj.value

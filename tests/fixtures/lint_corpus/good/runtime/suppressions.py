@@ -1,0 +1,8 @@
+"""Good: a justified, *used* inline suppression is silent."""
+
+import time
+
+
+def wall_elapsed() -> float:
+    # repro: allow[DET-WALLCLOCK] — progress display only; never serialised into a payload
+    return time.time()

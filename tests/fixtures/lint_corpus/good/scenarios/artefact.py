@@ -1,0 +1,9 @@
+"""Good: artefact writes route through the audited atomic helper."""
+
+from pathlib import Path
+
+from repro.utils import write_json_atomic
+
+
+def write_results(payload: dict, path: Path) -> Path:
+    return write_json_atomic(payload, path)

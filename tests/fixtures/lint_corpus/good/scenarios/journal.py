@@ -1,0 +1,15 @@
+"""Good: append-mode writes live inside an audited *Journal class."""
+
+import json
+import os
+
+
+class CellJournal:
+    def __init__(self, path):
+        self.path = path
+
+    def append(self, record: dict) -> None:
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())

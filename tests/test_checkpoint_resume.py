@@ -75,6 +75,28 @@ class TestMatrixJournal:
         completed = journal.completed_results(mini_specs)
         assert list(completed) == [mini_specs[0].name]
 
+    def test_complete_json_without_newline_is_still_torn(self, mini_specs, tmp_path):
+        journal = MatrixJournal(tmp_path / "run.journal")
+        ScenarioRunner(jobs=1).run(mini_specs[:2], journal=journal)
+        # The crash cut exactly the trailing newline: the last line parses
+        # as complete JSON, but a later append would concatenate onto it
+        # and corrupt two records.  It must count as torn.
+        torn = journal.path.read_text()[:-1]
+        journal.path.write_text(torn)
+        assert len(journal.entries()) == 1
+        assert list(journal.completed_results(mini_specs)) == [mini_specs[0].name]
+
+    def test_open_for_resume_truncates_the_torn_tail(self, mini_specs, tmp_path):
+        journal = MatrixJournal(tmp_path / "run.journal")
+        ScenarioRunner(jobs=1).run(mini_specs[:2], journal=journal)
+        intact = journal.path.read_text()
+        first_line_end = intact.index("\n") + 1
+        journal.path.write_text(intact[:-1])  # tear off the final newline
+        entries = journal.open_for_resume()
+        assert len(entries) == 1
+        # The torn bytes are gone: the next append starts on a clean line.
+        assert journal.path.read_text() == intact[:first_line_end]
+
     def test_stale_spec_entries_are_ignored(self, mini_specs, tmp_path):
         journal = MatrixJournal(tmp_path / "run.journal")
         ScenarioRunner(jobs=1).run(mini_specs[:1], journal=journal)
@@ -105,6 +127,23 @@ class TestResumeByteIdentity:
         results = ScenarioRunner(jobs=1).run(mini_specs, journal=journal, resume=True)
         write_results(results, out, matrix="mini")
         assert out.read_text() == uninterrupted_artefact
+
+    def test_resume_after_newline_tear_is_byte_identical(
+        self, mini_specs, tmp_path, uninterrupted_artefact
+    ):
+        journal = MatrixJournal(tmp_path / "run.journal")
+        ScenarioRunner(jobs=1).run(mini_specs[:2], journal=journal)
+        intact = journal.path.read_text()
+        # Tear off the final newline only: the last cell's record parses
+        # but is untrusted, so it re-runs — and the resume's re-append must
+        # not concatenate onto the torn bytes.
+        journal.path.write_text(intact[:-1])
+
+        out = tmp_path / "mini.json"
+        results = ScenarioRunner(jobs=1).run(mini_specs, journal=journal, resume=True)
+        write_results(results, out, matrix="mini")
+        assert out.read_text() == uninterrupted_artefact
+        assert journal.path.read_text().startswith(intact)
 
     def test_resume_with_complete_journal_runs_nothing(self, mini_specs, tmp_path):
         journal = MatrixJournal(tmp_path / "run.journal")

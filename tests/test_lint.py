@@ -1,0 +1,311 @@
+"""Tests for the invariant linter (``repro.lint`` / ``python -m repro lint``).
+
+Three layers of coverage:
+
+* **Corpus** — a bad/good fixture pair per rule under
+  ``tests/fixtures/lint_corpus/``: every bad file must produce exactly the
+  expected (rule, line) findings, every good twin must be silent.
+* **Machinery** — inline suppressions (reason required, stale flagged,
+  meta-rule unsuppressable), the content-keyed JSON baseline round trip,
+  and the CLI's exit codes and report formats.
+* **The tree itself** — ``python -m repro lint`` must exit 0 on HEAD with
+  no baseline: the repo stays clean under its own gate.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.cli import main
+from repro.lint import (
+    DEFAULT_RULES,
+    LintEngine,
+    Rule,
+    load_baseline,
+    write_baseline,
+)
+
+CORPUS = Path(__file__).parent / "fixtures" / "lint_corpus"
+BAD = CORPUS / "bad"
+GOOD = CORPUS / "good"
+
+#: Exactly the findings each bad-corpus file must produce (rule, line).
+BAD_EXPECTATIONS = {
+    "runtime/det_wallclock.py": [
+        ("DET-WALLCLOCK", 8),
+        ("DET-WALLCLOCK", 9),
+    ],
+    "runtime/det_globalrng.py": [
+        ("DET-GLOBALRNG", 11),  # random.random()
+        ("DET-GLOBALRNG", 15),  # np.random.rand(n)
+        ("DET-GLOBALRNG", 19),  # unseeded default_rng()
+        ("DET-GLOBALRNG", 23),  # uuid.uuid4()
+        ("DET-GLOBALRNG", 23),  # os.urandom(4)
+    ],
+    "runtime/det_idkey.py": [
+        ("DET-IDKEY", 7),
+        ("DET-IDKEY", 12),
+        ("DET-IDKEY", 12),
+    ],
+    "runtime/det_setiter.py": [
+        ("DET-SETITER", 6),
+        ("DET-SETITER", 12),
+    ],
+    "faults/injector.py": [
+        ("RNG-GUARD", 11),  # comparison against the rate is not a guard
+        ("RNG-GUARD", 14),  # draw precedes the guard that uses it
+    ],
+    "runtime/metrics.py": [
+        ("SUM-EXACT", 10),  # += in add()
+        ("SUM-EXACT", 14),  # += in merge()
+        ("SUM-EXACT", 19),  # sum() over shard subtotals
+    ],
+    "scenarios/artefact.py": [
+        ("ART-ATOMIC", 12),  # os.replace without fsync
+        ("ART-ATOMIC", 18),  # bare open("w") + json.dump
+    ],
+    "scenarios/journal.py": [
+        ("ART-JOURNAL", 6),
+        ("ART-JOURNAL", 11),
+    ],
+    "runtime/suppressions.py": [
+        ("LINT-SUPPRESS", 7),  # used suppression without a reason
+        ("LINT-SUPPRESS", 11),  # stale suppression
+        ("LINT-SUPPRESS", 16),  # meta rule cannot be suppressed
+    ],
+}
+
+
+class TestBadCorpus:
+    @pytest.mark.parametrize("relpath", sorted(BAD_EXPECTATIONS))
+    def test_expected_findings(self, relpath):
+        engine = LintEngine(BAD)
+        findings = engine.lint_file(BAD / relpath)
+        assert [(f.rule, f.line) for f in findings] == sorted(
+            BAD_EXPECTATIONS[relpath], key=lambda pair: pair[1]
+        )
+
+    def test_run_collects_every_file(self):
+        report = LintEngine(BAD).run()
+        assert not report.ok
+        expected = sum(len(pairs) for pairs in BAD_EXPECTATIONS.values())
+        assert len(report.findings) == expected
+        # The wallclock finding silenced in suppressions.py is counted.
+        assert report.suppressed == 1
+
+
+class TestGoodCorpus:
+    @pytest.mark.parametrize(
+        "relpath",
+        sorted(p.relative_to(GOOD).as_posix() for p in GOOD.rglob("*.py")),
+    )
+    def test_no_findings(self, relpath):
+        engine = LintEngine(GOOD)
+        assert engine.lint_file(GOOD / relpath) == []
+
+
+class TestSuppressions:
+    def _lint(self, tmp_path, source, relpath="runtime/mod.py"):
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+        return LintEngine(tmp_path).lint_file(path)
+
+    def test_same_line_suppression_with_reason_is_silent(self, tmp_path):
+        findings = self._lint(
+            tmp_path,
+            "import time\n\n"
+            "def f():\n"
+            "    return time.time()  # repro: allow[DET-WALLCLOCK] — display only\n",
+        )
+        assert findings == []
+
+    def test_line_above_suppression_is_silent(self, tmp_path):
+        findings = self._lint(
+            tmp_path,
+            "import time\n\n"
+            "def f():\n"
+            "    # repro: allow[DET-WALLCLOCK] — display only\n"
+            "    return time.time()\n",
+        )
+        assert findings == []
+
+    def test_plain_ascii_dash_reason_accepted(self, tmp_path):
+        findings = self._lint(
+            tmp_path,
+            "import time\n\n"
+            "def f():\n"
+            "    return time.time()  # repro: allow[DET-WALLCLOCK] - display only\n",
+        )
+        assert findings == []
+
+    def test_missing_reason_is_a_finding(self, tmp_path):
+        findings = self._lint(
+            tmp_path,
+            "import time\n\n"
+            "def f():\n"
+            "    return time.time()  # repro: allow[DET-WALLCLOCK]\n",
+        )
+        assert [f.rule for f in findings] == ["LINT-SUPPRESS"]
+        assert "no reason" in findings[0].message
+
+    def test_suppression_only_covers_its_own_rule(self, tmp_path):
+        findings = self._lint(
+            tmp_path,
+            "import time\n\n"
+            "def f():\n"
+            "    return time.time()  # repro: allow[DET-GLOBALRNG] — wrong rule\n",
+        )
+        rules = sorted(f.rule for f in findings)
+        # The wallclock finding survives and the mismatched allow is stale.
+        assert rules == ["DET-WALLCLOCK", "LINT-SUPPRESS"]
+
+    def test_syntax_error_reports_the_file(self, tmp_path):
+        findings = self._lint(tmp_path, "def broken(:\n")
+        assert [f.rule for f in findings] == ["LINT-SUPPRESS"]
+        assert "does not parse" in findings[0].message
+
+    def test_documentation_placeholder_is_not_a_suppression(self, tmp_path):
+        findings = self._lint(
+            tmp_path,
+            '"""Write # repro: allow[RULE-ID] — <reason> to suppress."""\n',
+        )
+        assert findings == []
+
+
+class TestBaseline:
+    def test_round_trip_masks_exactly_the_recorded_findings(self, tmp_path):
+        engine = LintEngine(BAD)
+        baseline_path = tmp_path / "lint_baseline.json"
+        report = engine.run()
+        write_baseline(report.findings, baseline_path)
+        rerun = engine.run(baseline=load_baseline(baseline_path))
+        assert rerun.ok
+        assert rerun.baselined == len(report.findings)
+
+    def test_line_shifts_do_not_resurrect_baselined_findings(self, tmp_path):
+        src = tmp_path / "runtime"
+        src.mkdir(parents=True)
+        mod = src / "mod.py"
+        body = "import time\n\ndef f():\n    return time.time()\n"
+        mod.write_text(body)
+        engine = LintEngine(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(engine.run().findings, baseline_path)
+        # Shift the finding two lines down; the content key still matches.
+        mod.write_text("# shifted\n# shifted\n" + body)
+        rerun = engine.run(baseline=load_baseline(baseline_path))
+        assert rerun.ok and rerun.baselined == 1
+
+    def test_new_findings_are_not_masked(self, tmp_path):
+        src = tmp_path / "runtime"
+        src.mkdir(parents=True)
+        mod = src / "mod.py"
+        mod.write_text("import time\n\ndef f():\n    return time.time()\n")
+        engine = LintEngine(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(engine.run().findings, baseline_path)
+        mod.write_text(
+            "import time\n\ndef f():\n    return time.time()\n"
+            "\ndef g():\n    return time.monotonic()\n"
+        )
+        rerun = engine.run(baseline=load_baseline(baseline_path))
+        assert not rerun.ok
+        assert [f.line for f in rerun.findings] == [7]
+
+    def test_absent_baseline_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "missing.json") == []
+
+    def test_malformed_baseline_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"findings": 7}')
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+
+class TestEngine:
+    def test_duplicate_rule_ids_rejected(self):
+        rule = Rule(id="X", summary="x", check=lambda ctx: [])
+        with pytest.raises(ValueError):
+            LintEngine(BAD, rules=[rule, rule])
+
+    def test_rule_ids_are_unique_and_documented(self):
+        ids = [rule.id for rule in DEFAULT_RULES]
+        assert len(ids) == len(set(ids))
+        assert set(ids) == {
+            "DET-WALLCLOCK",
+            "DET-GLOBALRNG",
+            "DET-IDKEY",
+            "DET-SETITER",
+            "RNG-GUARD",
+            "SUM-EXACT",
+            "ART-ATOMIC",
+            "ART-JOURNAL",
+        }
+
+    def test_reports_are_deterministic(self):
+        a = LintEngine(BAD).run().to_payload()
+        b = LintEngine(BAD).run().to_payload()
+        assert json.dumps(a) == json.dumps(b)
+
+
+class TestTreeIsClean:
+    def test_repro_package_has_zero_findings(self):
+        """The gate the CI step enforces: HEAD lints clean, no baseline."""
+        report = LintEngine(Path(repro.__file__).parent).run()
+        assert report.ok, "\n".join(f.render() for f in report.findings)
+
+
+class TestCli:
+    def test_lint_exits_zero_on_head(self, capsys):
+        assert main(["lint"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_lint_fails_on_bad_corpus(self, capsys):
+        assert main(["lint", "--root", str(BAD)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "RNG-GUARD" in out
+
+    def test_json_format_and_out_report(self, tmp_path, capsys):
+        out = tmp_path / "LINT_report.json"
+        code = main(["lint", "--root", str(BAD), "--format", "json", "--out", str(out)])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == json.loads(out.read_text())
+        assert payload["n_findings"] == len(payload["findings"]) > 0
+        assert not out.with_name(out.name + ".tmp").exists()
+
+    def test_write_baseline_then_pass(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", "--root", str(BAD), "--baseline", str(baseline)]) == 1
+        assert (
+            main(
+                [
+                    "lint",
+                    "--root",
+                    str(BAD),
+                    "--baseline",
+                    str(baseline),
+                    "--write-baseline",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["lint", "--root", str(BAD), "--baseline", str(baseline)]) == 0
+        assert "baselined" in capsys.readouterr().out
+
+    def test_write_baseline_requires_baseline_path(self, capsys):
+        assert main(["lint", "--write-baseline"]) == 2
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_help_documents_the_gate(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["lint", "--help"])
+        out = capsys.readouterr().out
+        for flag in ("--format", "--baseline", "--write-baseline", "--out", "--root"):
+            assert flag in out

@@ -2,12 +2,21 @@
 
 from __future__ import annotations
 
+import json
+import os
 import pickle
 import sys
 
 import pytest
 
-from repro.utils import mp_context, pool_chunk_size, resolve_jobs, stable_seed
+from repro.utils import (
+    mp_context,
+    pool_chunk_size,
+    resolve_jobs,
+    stable_seed,
+    write_json_atomic,
+    write_text_atomic,
+)
 
 
 class TestResolveJobs:
@@ -93,3 +102,50 @@ class TestStableSeed:
     def test_chunk_size_bounds(self):
         assert pool_chunk_size(0, 4) == 1
         assert pool_chunk_size(1000, 4) >= 1
+
+
+class TestAtomicWrites:
+    """The audited writer every artefact routes through (ART-ATOMIC)."""
+
+    def test_write_text_atomic_round_trip(self, tmp_path):
+        out = tmp_path / "nested" / "dir" / "a.txt"
+        returned = write_text_atomic("hello\n", out)
+        assert returned == out
+        assert out.read_text() == "hello\n"
+        # No temp debris once the replace landed.
+        assert list(out.parent.iterdir()) == [out]
+
+    def test_write_json_atomic_formats(self, tmp_path):
+        pretty = write_json_atomic({"a": 1}, tmp_path / "pretty.json")
+        assert pretty.read_text() == '{\n  "a": 1\n}\n'
+        compact = write_json_atomic(
+            {"a": 1}, tmp_path / "compact.json", indent=None, trailing_newline=False
+        )
+        assert compact.read_text() == '{"a": 1}'
+
+    def test_fsync_happens_before_the_rename(self, tmp_path, monkeypatch):
+        # Durability orders strictly: data reaches disk *before* the rename
+        # makes it reachable.  Record the call order to pin the contract.
+        calls: list[str] = []
+        real_fsync, real_replace = os.fsync, os.replace
+        monkeypatch.setattr(
+            "repro.utils.os.fsync", lambda fd: (calls.append("fsync"), real_fsync(fd))
+        )
+        monkeypatch.setattr(
+            "repro.utils.os.replace",
+            lambda a, b: (calls.append("replace"), real_replace(a, b)),
+        )
+        write_json_atomic({"a": 1}, tmp_path / "a.json")
+        assert calls == ["fsync", "replace"]
+
+    def test_crash_before_rename_leaves_old_contents(self, tmp_path, monkeypatch):
+        out = tmp_path / "a.json"
+        write_json_atomic({"version": 1}, out)
+        monkeypatch.setattr(
+            "repro.utils.os.fsync",
+            lambda fd: (_ for _ in ()).throw(OSError("power loss")),
+        )
+        with pytest.raises(OSError):
+            write_json_atomic({"version": 2}, out)
+        # The visible artefact is untouched; only the temp file is partial.
+        assert json.loads(out.read_text()) == {"version": 1}
